@@ -1,0 +1,103 @@
+// Google-benchmark microbenchmarks: per-round cost of each process at
+// realistic sizes. Not a paper artifact — engineering data for users sizing
+// simulations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "dlb/baselines/local_rounding.hpp"
+#include "dlb/core/algorithm1.hpp"
+#include "dlb/core/algorithm2.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace {
+
+using namespace dlb;
+
+std::shared_ptr<const graph> torus_of(std::int64_t side) {
+  return std::make_shared<const graph>(
+      generators::torus_2d(static_cast<node_id>(side)));
+}
+
+void bm_fos_continuous(benchmark::State& state) {
+  auto g = torus_of(state.range(0));
+  const node_id n = g->num_nodes();
+  auto p = make_fos(g, uniform_speeds(n),
+                    make_alphas(*g, alpha_scheme::half_max_degree));
+  std::vector<real_t> x0(static_cast<size_t>(n), 10.0);
+  x0[0] += static_cast<real_t>(10 * n);
+  p->reset(x0);
+  for (auto _ : state) {
+    p->step();
+    benchmark::DoNotOptimize(p->loads().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g->num_edges());
+}
+BENCHMARK(bm_fos_continuous)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_algorithm1(benchmark::State& state) {
+  auto g = torus_of(state.range(0));
+  const node_id n = g->num_nodes();
+  const auto tokens = workload::add_speed_multiple(
+      workload::point_mass(n, 0, 10 * n), uniform_speeds(n), 4);
+  algorithm1 alg(make_fos(g, uniform_speeds(n),
+                          make_alphas(*g, alpha_scheme::half_max_degree)),
+                 task_assignment::tokens(tokens));
+  for (auto _ : state) {
+    alg.step();
+    benchmark::DoNotOptimize(alg.loads().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g->num_edges());
+}
+BENCHMARK(bm_algorithm1)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_algorithm2(benchmark::State& state) {
+  auto g = torus_of(state.range(0));
+  const node_id n = g->num_nodes();
+  const auto tokens = workload::add_speed_multiple(
+      workload::point_mass(n, 0, 10 * n), uniform_speeds(n), 4);
+  algorithm2 alg(make_fos(g, uniform_speeds(n),
+                          make_alphas(*g, alpha_scheme::half_max_degree)),
+                 tokens, /*seed=*/1);
+  for (auto _ : state) {
+    alg.step();
+    benchmark::DoNotOptimize(alg.loads().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g->num_edges());
+}
+BENCHMARK(bm_algorithm2)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_round_down(benchmark::State& state) {
+  auto g = torus_of(state.range(0));
+  const node_id n = g->num_nodes();
+  const speed_vector s = uniform_speeds(n);
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  local_rounding_process p(
+      g, s, std::make_unique<diffusion_alpha_schedule>(alpha),
+      rounding_policy::round_down,
+      workload::point_mass(n, 0, 10 * n), /*seed=*/1);
+  for (auto _ : state) {
+    p.step();
+    benchmark::DoNotOptimize(p.loads().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g->num_edges());
+}
+BENCHMARK(bm_round_down)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_random_matching_generation(benchmark::State& state) {
+  auto g = torus_of(state.range(0));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    const matching m = random_maximal_matching(*g, /*seed=*/7, round++);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g->num_edges());
+}
+BENCHMARK(bm_random_matching_generation)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

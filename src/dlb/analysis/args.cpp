@@ -1,0 +1,81 @@
+#include "dlb/analysis/args.hpp"
+
+#include <stdexcept>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::analysis {
+
+arg_map::arg_map(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) insert(argv[i]);
+}
+
+arg_map::arg_map(const std::vector<std::string>& tokens) {
+  for (const std::string& t : tokens) insert(t);
+}
+
+void arg_map::insert(const std::string& token) {
+  const auto eq = token.find('=');
+  std::string key = eq == std::string::npos ? token : token.substr(0, eq);
+  std::string value =
+      eq == std::string::npos ? "true" : token.substr(eq + 1);
+  DLB_EXPECTS(!key.empty());
+  DLB_EXPECTS(values_.find(key) == values_.end());
+  values_.emplace(std::move(key), std::move(value));
+}
+
+bool arg_map::has(const std::string& key) const {
+  const bool present = values_.find(key) != values_.end();
+  if (present) consumed_[key] = true;
+  return present;
+}
+
+std::string arg_map::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = values_.find(key);
+  consumed_[key] = true;
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t arg_map::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  consumed_[key] = true;
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    DLB_EXPECTS(pos == it->second.size());
+    return v;
+  } catch (const std::logic_error&) {
+    throw contract_violation("argument '" + key + "' is not an integer: " +
+                             it->second);
+  }
+}
+
+double arg_map::get_real(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  consumed_[key] = true;
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    DLB_EXPECTS(pos == it->second.size());
+    return v;
+  } catch (const std::logic_error&) {
+    throw contract_violation("argument '" + key + "' is not a number: " +
+                             it->second);
+  }
+}
+
+std::vector<std::string> arg_map::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    const auto it = consumed_.find(key);
+    if (it == consumed_.end() || !it->second) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace dlb::analysis

@@ -1,0 +1,43 @@
+// Minimal `key=value` command-line argument parser for the example binaries
+// and one-off experiment drivers. Not a general-purpose CLI library — just
+// enough to make simulations scriptable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dlb/common/types.hpp"
+
+namespace dlb::analysis {
+
+class arg_map {
+ public:
+  /// Parses `key=value` tokens; bare tokens become flags with value "true".
+  /// Throws contract_violation on duplicate keys or empty keys.
+  arg_map(int argc, const char* const* argv);
+
+  /// Builds from pre-split tokens (testing convenience).
+  explicit arg_map(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Value lookups with defaults; numeric getters throw on non-numeric text.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_real(const std::string& key,
+                                double fallback) const;
+
+  /// Keys the caller never consumed — used to reject typos.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+ private:
+  void insert(const std::string& token);
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace dlb::analysis

@@ -1,0 +1,57 @@
+#include "dlb/analysis/convergence.hpp"
+
+#include <cmath>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::analysis {
+
+plateau_info detect_plateau(const run_trace& trace, std::size_t window,
+                            real_t tolerance) {
+  DLB_EXPECTS(window >= 2);
+  const auto& rows = trace.rows();
+  plateau_info info;
+  if (rows.size() < window) return info;
+
+  // Scan for the earliest index i such that min over [i, end) is within
+  // tolerance of the value at i and the next `window` rows do not improve.
+  for (std::size_t i = 0; i + window <= rows.size(); ++i) {
+    bool improves = false;
+    for (std::size_t j = i + 1; j < rows.size(); ++j) {
+      if (rows[j].max_min < rows[i].max_min - tolerance) {
+        improves = true;
+        break;
+      }
+    }
+    if (!improves) {
+      info.settled_round = rows[i].round;
+      info.plateau_value = rows[i].max_min;
+      info.found = true;
+      return info;
+    }
+  }
+  return info;
+}
+
+real_t potential_drop_rate(const run_trace& trace, std::size_t first,
+                           std::size_t last) {
+  const auto& rows = trace.rows();
+  DLB_EXPECTS(first < last && last <= rows.size());
+  DLB_EXPECTS(last - first >= 2);
+  real_t log_sum = 0;
+  std::size_t terms = 0;
+  for (std::size_t i = first; i + 1 < last; ++i) {
+    DLB_EXPECTS(rows[i].potential > 0);
+    if (rows[i + 1].potential <= 0) break;  // fully balanced; stop
+    log_sum += std::log(rows[i + 1].potential / rows[i].potential);
+    ++terms;
+  }
+  DLB_EXPECTS(terms > 0);
+  return std::exp(log_sum / static_cast<real_t>(terms));
+}
+
+round_t rounds_to_reach(const run_trace& trace, real_t target) {
+  return trace.first_round_below(target);
+}
+
+}  // namespace dlb::analysis

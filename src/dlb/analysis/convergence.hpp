@@ -1,0 +1,37 @@
+// Convergence diagnostics over recorded traces: plateau detection (when does
+// a discrete process stop improving?) and geometric drop-rate estimation
+// (the potential-function lens of [34]: continuous FOS contracts Φ by λ²
+// per round).
+#pragma once
+
+#include <vector>
+
+#include "dlb/analysis/trace.hpp"
+#include "dlb/common/types.hpp"
+
+namespace dlb::analysis {
+
+struct plateau_info {
+  round_t settled_round = -1;  ///< first round of the final plateau
+  real_t plateau_value = 0;    ///< max-min discrepancy on the plateau
+  bool found = false;
+};
+
+/// Finds the first round after which max_min never improves by more than
+/// `tolerance` for at least `window` consecutive observations. Useful to
+/// locate the "stuck" level of round-down baselines.
+[[nodiscard]] plateau_info detect_plateau(const run_trace& trace,
+                                          std::size_t window = 20,
+                                          real_t tolerance = 1e-9);
+
+/// Geometric mean of the per-observation potential drop factor
+/// Φ(t+1)/Φ(t) over [first, last) observation indices. For continuous FOS
+/// this should be <= λ² while far from balance ([34]).
+[[nodiscard]] real_t potential_drop_rate(const run_trace& trace,
+                                         std::size_t first,
+                                         std::size_t last);
+
+/// Rounds until the trace's max_min first reaches `target` (or -1).
+[[nodiscard]] round_t rounds_to_reach(const run_trace& trace, real_t target);
+
+}  // namespace dlb::analysis

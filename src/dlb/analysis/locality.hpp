@@ -1,0 +1,35 @@
+// Task locality: how far tasks end up from where they entered the system.
+//
+// The paper's introduction motivates neighbourhood balancing over
+// route-anywhere strategies partly by locality: "keep the tasks close to
+// their initial location, which is beneficial if the tasks originated on the
+// same resource have to exchange information". With task origins tracked by
+// task_pool, this module quantifies that claim: the distribution of graph
+// distances between each real task's origin and its current host, compared
+// against the mean pairwise distance (what an arbitrary reassignment would
+// cost in expectation).
+#pragma once
+
+#include "dlb/common/types.hpp"
+#include "dlb/core/tasks.hpp"
+#include "dlb/graph/graph.hpp"
+
+namespace dlb::analysis {
+
+struct locality_stats {
+  std::size_t tasks = 0;        ///< real tasks with tracked origins
+  real_t mean_distance = 0;     ///< average origin→host graph distance
+  node_id max_distance = 0;     ///< worst displacement
+  real_t stationary_fraction = 0;  ///< fraction still on their origin node
+};
+
+/// Measures displacement of every origin-tracked real task in `a` over `g`.
+/// Tasks with untracked origins are skipped. O(n·m) BFS work.
+[[nodiscard]] locality_stats task_locality(const graph& g,
+                                           const task_assignment& a);
+
+/// Mean pairwise shortest-path distance of `g` — the expected displacement
+/// of a uniformly random reassignment; the locality baseline.
+[[nodiscard]] real_t mean_pairwise_distance(const graph& g);
+
+}  // namespace dlb::analysis

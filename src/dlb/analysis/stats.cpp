@@ -1,0 +1,51 @@
+#include "dlb/analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::analysis {
+
+summary summarize(std::vector<real_t> values) {
+  summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  const std::size_t mid = values.size() / 2;
+  s.median = values.size() % 2 == 1
+                 ? values[mid]
+                 : 0.5 * (values[mid - 1] + values[mid]);
+  real_t sum = 0;
+  for (const real_t v : values) sum += v;
+  s.mean = sum / static_cast<real_t>(values.size());
+  if (values.size() > 1) {
+    real_t ss = 0;
+    for (const real_t v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<real_t>(values.size() - 1));
+  }
+  return s;
+}
+
+real_t log_log_slope(const std::vector<real_t>& x,
+                     const std::vector<real_t>& y) {
+  DLB_EXPECTS(x.size() == y.size() && x.size() >= 2);
+  real_t sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    DLB_EXPECTS(x[i] > 0 && y[i] > 0);
+    const real_t lx = std::log(x[i]);
+    const real_t ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const real_t n = static_cast<real_t>(x.size());
+  const real_t denom = n * sxx - sx * sx;
+  DLB_EXPECTS(std::abs(denom) > 1e-12);
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace dlb::analysis

@@ -1,0 +1,30 @@
+// Minimal ASCII table renderer so bench output mirrors the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlb::analysis {
+
+class ascii_table {
+ public:
+  explicit ascii_table(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `precision` digits after the point.
+  [[nodiscard]] static std::string fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dlb::analysis

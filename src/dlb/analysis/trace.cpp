@@ -1,0 +1,22 @@
+#include "dlb/analysis/trace.hpp"
+
+#include <ostream>
+
+namespace dlb::analysis {
+
+round_t run_trace::first_round_below(real_t threshold) const {
+  for (const trace_row& r : rows_) {
+    if (r.max_min <= threshold) return r.round;
+  }
+  return -1;
+}
+
+void run_trace::write_csv(std::ostream& os) const {
+  os << "round,max_min,max_avg,potential,dummy\n";
+  for (const trace_row& r : rows_) {
+    os << r.round << ',' << r.max_min << ',' << r.max_avg << ','
+       << r.potential << ',' << r.dummy << '\n';
+  }
+}
+
+}  // namespace dlb::analysis

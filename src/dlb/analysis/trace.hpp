@@ -1,0 +1,39 @@
+// Per-round time series recording for convergence experiments.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "dlb/common/types.hpp"
+
+namespace dlb::analysis {
+
+/// One observation of a running process.
+struct trace_row {
+  round_t round = 0;
+  real_t max_min = 0;    ///< max-min discrepancy
+  real_t max_avg = 0;    ///< max-avg discrepancy
+  real_t potential = 0;  ///< Φ
+  weight_t dummy = 0;    ///< cumulative dummy weight created
+};
+
+/// Append-only record of a run.
+class run_trace {
+ public:
+  void record(trace_row row) { rows_.push_back(row); }
+
+  [[nodiscard]] const std::vector<trace_row>& rows() const { return rows_; }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+  [[nodiscard]] const trace_row& back() const { return rows_.back(); }
+
+  /// First round at which max_min <= threshold, or -1 if never.
+  [[nodiscard]] round_t first_round_below(real_t threshold) const;
+
+  /// Writes "round,max_min,max_avg,potential,dummy" CSV (with header).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<trace_row> rows_;
+};
+
+}  // namespace dlb::analysis

@@ -1,0 +1,88 @@
+#include "dlb/baselines/excess_tokens.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+
+namespace dlb {
+
+excess_token_process::excess_token_process(std::shared_ptr<const graph> g,
+                                           speed_vector s,
+                                           std::vector<real_t> alpha,
+                                           std::vector<weight_t> tokens,
+                                           std::uint64_t seed)
+    : g_(std::move(g)),
+      s_(std::move(s)),
+      alpha_(std::move(alpha)),
+      loads_(std::move(tokens)),
+      rng_(make_rng(seed, /*stream=*/0xE6Cu)) {
+  DLB_EXPECTS(g_ != nullptr);
+  validate_alphas(*g_, s_, alpha_);
+  DLB_EXPECTS(static_cast<node_id>(loads_.size()) == g_->num_nodes());
+  for (const weight_t c : loads_) DLB_EXPECTS(c >= 0);
+}
+
+void excess_token_process::step() {
+  const graph& g = *g_;
+  std::vector<weight_t> delta(static_cast<size_t>(g.num_nodes()), 0);
+  std::vector<node_id> scratch;
+
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    const weight_t xi = loads_[static_cast<size_t>(i)];
+    if (xi == 0) continue;
+    const real_t si = static_cast<real_t>(s_[static_cast<size_t>(i)]);
+
+    // Gross continuous flows y_{i,j} = (α/s_i)·x_i; floor each send.
+    weight_t sent_floor_total = 0;
+    real_t rate_sum = 0;
+    for (const incidence& inc : g.neighbors(i)) {
+      const real_t rate = alpha_[static_cast<size_t>(inc.edge)] / si;
+      rate_sum += rate;
+      const weight_t send = static_cast<weight_t>(
+          std::floor(rate * static_cast<real_t>(xi) + flow_epsilon));
+      if (send > 0) {
+        delta[static_cast<size_t>(inc.neighbor)] += send;
+        sent_floor_total += send;
+      }
+    }
+    // Self retention y_{i,i} = (1 - Σ rates)·x_i; the excess is what the
+    // floors left behind: an integer in [0, d_i].
+    const weight_t keep_floor = static_cast<weight_t>(
+        std::floor((1.0 - rate_sum) * static_cast<real_t>(xi) +
+                   flow_epsilon));
+    weight_t excess = xi - sent_floor_total - keep_floor;
+    DLB_ASSERT(excess >= 0);
+    DLB_ASSERT(excess <= static_cast<weight_t>(g.degree(i)));
+    if (excess == 0) {
+      delta[static_cast<size_t>(i)] -= sent_floor_total;
+      continue;
+    }
+
+    // Choose `excess` distinct neighbours uniformly at random (partial
+    // Fisher-Yates over the adjacency list); one extra token each.
+    scratch.clear();
+    for (const incidence& inc : g.neighbors(i)) {
+      scratch.push_back(inc.neighbor);
+    }
+    for (weight_t k = 0; k < excess; ++k) {
+      const std::size_t pick = static_cast<std::size_t>(uniform_int<std::int64_t>(
+          rng_, static_cast<std::int64_t>(k),
+          static_cast<std::int64_t>(scratch.size()) - 1));
+      std::swap(scratch[static_cast<size_t>(k)], scratch[pick]);
+      delta[static_cast<size_t>(scratch[static_cast<size_t>(k)])] += 1;
+    }
+    delta[static_cast<size_t>(i)] -= sent_floor_total + excess;
+  }
+
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    loads_[static_cast<size_t>(i)] += delta[static_cast<size_t>(i)];
+    DLB_ASSERT(loads_[static_cast<size_t>(i)] >= 0);
+  }
+  ++t_;
+}
+
+}  // namespace dlb

@@ -1,0 +1,55 @@
+// The randomized-diffusion baseline of Berenbrink, Cooper, Friedetzky,
+// Friedrich, Sauerwald (SODA 2011) [9] (paper §2.3): every node computes the
+// continuous gross flows y_{i,j} = (α_{i,j}/s_i)·x_i, sends ⌊y_{i,j}⌋ to each
+// neighbour, and distributes its remaining "excess" tokens
+//     x_i - ⌊y_{i,i}⌋ - Σ_j ⌊y_{i,j}⌋   (an integer in [0, d_i])
+// one each to distinct neighbours chosen uniformly at random (without
+// replacement). By construction the process never creates negative load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dlb/common/rng.hpp"
+#include "dlb/core/process.hpp"
+
+namespace dlb {
+
+class excess_token_process final : public discrete_process {
+ public:
+  excess_token_process(std::shared_ptr<const graph> g, speed_vector s,
+                       std::vector<real_t> alpha, std::vector<weight_t> tokens,
+                       std::uint64_t seed);
+
+  void step() override;
+
+  [[nodiscard]] const std::vector<weight_t>& loads() const override {
+    return loads_;
+  }
+  [[nodiscard]] std::vector<weight_t> real_loads() const override {
+    return loads_;
+  }
+  [[nodiscard]] const graph& topology() const override { return *g_; }
+  [[nodiscard]] const speed_vector& speeds() const override { return s_; }
+  [[nodiscard]] round_t rounds_executed() const override { return t_; }
+  [[nodiscard]] weight_t dummy_created() const override { return 0; }
+  void inject_tokens(node_id i, weight_t count) override {
+    DLB_EXPECTS(i >= 0 && i < g_->num_nodes() && count >= 0);
+    loads_[static_cast<size_t>(i)] += count;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "baseline-excess-tokens(FOS)";
+  }
+
+ private:
+  std::shared_ptr<const graph> g_;
+  speed_vector s_;
+  std::vector<real_t> alpha_;
+  std::vector<weight_t> loads_;
+  rng_t rng_;
+  round_t t_ = 0;
+};
+
+}  // namespace dlb

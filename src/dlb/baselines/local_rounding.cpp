@@ -1,0 +1,117 @@
+#include "dlb/baselines/local_rounding.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb {
+
+std::string to_string(rounding_policy p) {
+  switch (p) {
+    case rounding_policy::round_down:
+      return "round-down";
+    case rounding_policy::randomized_fraction:
+      return "randomized-fraction";
+    case rounding_policy::randomized_half:
+      return "randomized-half";
+    case rounding_policy::quasirandom:
+      return "quasirandom";
+  }
+  return "unknown";
+}
+
+local_rounding_process::local_rounding_process(
+    std::shared_ptr<const graph> g, speed_vector s,
+    std::unique_ptr<alpha_schedule> schedule, rounding_policy policy,
+    std::vector<weight_t> tokens, std::uint64_t seed)
+    : g_(std::move(g)),
+      s_(std::move(s)),
+      schedule_(std::move(schedule)),
+      policy_(policy),
+      loads_(std::move(tokens)),
+      rng_(make_rng(seed, /*stream=*/0xBA5Eu)) {
+  DLB_EXPECTS(g_ != nullptr && schedule_ != nullptr);
+  validate_speeds(*g_, s_);
+  DLB_EXPECTS(static_cast<node_id>(loads_.size()) == g_->num_nodes());
+  for (const weight_t c : loads_) DLB_EXPECTS(c >= 0);
+  accumulated_error_.assign(static_cast<size_t>(g_->num_edges()), 0.0);
+}
+
+std::string local_rounding_process::name() const {
+  return "baseline-" + to_string(policy_) + "(" + schedule_->name() + ")";
+}
+
+void local_rounding_process::step() {
+  const graph& g = *g_;
+  schedule_->alphas(t_, alpha_buf_);
+  DLB_ASSERT(static_cast<edge_id>(alpha_buf_.size()) == g.num_edges());
+
+  // Synchronous round: all decisions read round-start loads.
+  std::vector<weight_t> delta(static_cast<size_t>(g.num_nodes()), 0);
+
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const real_t a = alpha_buf_[static_cast<size_t>(e)];
+    if (a == 0) continue;
+    const edge& ed = g.endpoints(e);
+    const real_t mi = static_cast<real_t>(loads_[static_cast<size_t>(ed.u)]) /
+                      static_cast<real_t>(s_[static_cast<size_t>(ed.u)]);
+    const real_t mj = static_cast<real_t>(loads_[static_cast<size_t>(ed.v)]) /
+                      static_cast<real_t>(s_[static_cast<size_t>(ed.v)]);
+    const real_t prescription = a * (mi - mj);  // oriented u→v
+    if (std::abs(prescription) < flow_epsilon) continue;
+
+    const bool u_sends = prescription > 0;
+    const real_t amount = std::abs(prescription);
+    const real_t fl = std::floor(amount);
+    const real_t frac = amount - fl;
+    weight_t sent = static_cast<weight_t>(fl);
+
+    switch (policy_) {
+      case rounding_policy::round_down:
+        break;  // keep the floor
+      case rounding_policy::randomized_fraction:
+        if (frac > flow_epsilon && bernoulli(rng_, frac)) ++sent;
+        break;
+      case rounding_policy::randomized_half:
+        if (frac > flow_epsilon && bernoulli(rng_, 0.5)) ++sent;
+        break;
+      case rounding_policy::quasirandom: {
+        // Signed form oriented u→v: pick the rounding minimizing the new
+        // accumulated error |Δ̂ + δ - sent_signed|.
+        real_t& acc = accumulated_error_[static_cast<size_t>(e)];
+        const real_t signed_floor =
+            u_sends ? fl : -std::ceil(amount);  // floor of signed δ toward 0?
+        // We round the *amount* down or up; in signed terms the candidates
+        // are sign·⌊amount⌋ and sign·⌈amount⌉.
+        const real_t sign = u_sends ? 1.0 : -1.0;
+        const real_t cand_down = sign * fl;
+        const real_t cand_up = sign * std::ceil(amount);
+        (void)signed_floor;
+        const real_t err_down = std::abs(acc + prescription - cand_down);
+        const real_t err_up = std::abs(acc + prescription - cand_up);
+        if (err_up < err_down) sent = static_cast<weight_t>(std::ceil(amount));
+        acc += prescription - sign * static_cast<real_t>(sent);
+        break;
+      }
+    }
+    if (sent == 0) continue;
+
+    const node_id from = u_sends ? ed.u : ed.v;
+    const node_id to = u_sends ? ed.v : ed.u;
+    delta[static_cast<size_t>(from)] -= sent;
+    delta[static_cast<size_t>(to)] += sent;
+  }
+
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    loads_[static_cast<size_t>(i)] += delta[static_cast<size_t>(i)];
+    if (loads_[static_cast<size_t>(i)] < 0) {
+      ++negative_events_;
+      min_load_seen_ =
+          std::min(min_load_seen_, loads_[static_cast<size_t>(i)]);
+    }
+  }
+  ++t_;
+}
+
+}  // namespace dlb

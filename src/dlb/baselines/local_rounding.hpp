@@ -1,0 +1,102 @@
+// Baseline discrete processes that round the *locally computed* continuous
+// prescription each round (paper §2.2-2.3). Unlike flow imitation, these
+// processes compute the transfer from their own (discrete) load vector:
+// for edge (i,j) active in round t, the continuous prescription is the net
+//     δ_{i,j}(t) = α_{i,j}(t) · (x_i/s_i - x_j/s_j),
+// sent from the higher-makespan endpoint after rounding:
+//
+//  * round_down        — ⌊δ⌋, the classic scheme analyzed by Rabani,
+//                        Sinclair, Wanka [37] (final discrepancy
+//                        O(d·log n/(1-λ))) and by [27, 34];
+//  * randomized_fraction — ⌊δ⌋ + Bernoulli({δ}), the randomized rounding of
+//                        Friedrich et al. [26] (diffusion) with expectation
+//                        exactly δ;
+//  * randomized_half   — ⌊δ⌋ or ⌈δ⌉ with probability 1/2 each, the matching
+//                        model scheme of Friedrich & Sauerwald [24];
+//  * quasirandom       — the deterministic bounded-error scheme of Friedrich,
+//                        Gairing, Sauerwald [26]: keep a per-edge accumulated
+//                        rounding error Δ̂ and pick the rounding that
+//                        minimizes |Δ̂ + δ - rounded|.
+//
+// Up-rounding schemes can overdraw a node (negative load); the paper notes
+// these baselines permit it. We track the number of negative-load node-rounds
+// for reporting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dlb/common/rng.hpp"
+#include "dlb/core/process.hpp"
+
+namespace dlb {
+
+enum class rounding_policy {
+  round_down,
+  randomized_fraction,
+  randomized_half,
+  quasirandom,
+};
+
+[[nodiscard]] std::string to_string(rounding_policy p);
+
+class local_rounding_process final : public discrete_process {
+ public:
+  /// `schedule` defines the per-round α (diffusion or matching model);
+  /// `tokens[i]` unit tasks start on node i; `seed` drives random roundings.
+  local_rounding_process(std::shared_ptr<const graph> g, speed_vector s,
+                         std::unique_ptr<alpha_schedule> schedule,
+                         rounding_policy policy,
+                         std::vector<weight_t> tokens, std::uint64_t seed);
+
+  void step() override;
+
+  [[nodiscard]] const std::vector<weight_t>& loads() const override {
+    return loads_;
+  }
+  [[nodiscard]] std::vector<weight_t> real_loads() const override {
+    return loads_;
+  }
+  [[nodiscard]] const graph& topology() const override { return *g_; }
+  [[nodiscard]] const speed_vector& speeds() const override { return s_; }
+  [[nodiscard]] round_t rounds_executed() const override { return t_; }
+  [[nodiscard]] weight_t dummy_created() const override { return 0; }
+  void inject_tokens(node_id i, weight_t count) override {
+    DLB_EXPECTS(i >= 0 && i < g_->num_nodes() && count >= 0);
+    loads_[static_cast<size_t>(i)] += count;
+  }
+  [[nodiscard]] std::string name() const override;
+
+  /// Number of (node, round) pairs at which the load was negative.
+  [[nodiscard]] std::int64_t negative_load_events() const {
+    return negative_events_;
+  }
+
+  /// Most negative load ever observed (0 if never negative).
+  [[nodiscard]] weight_t min_load_seen() const { return min_load_seen_; }
+
+  /// Quasirandom accumulated rounding error Δ̂ for edge e, oriented u→v
+  /// (always 0 for other policies). The bounded-error property of [26] keeps
+  /// |Δ̂| <= 1/2 at all times.
+  [[nodiscard]] real_t accumulated_error(edge_id e) const {
+    DLB_EXPECTS(e >= 0 && e < g_->num_edges());
+    return accumulated_error_[static_cast<size_t>(e)];
+  }
+
+ private:
+  std::shared_ptr<const graph> g_;
+  speed_vector s_;
+  std::unique_ptr<alpha_schedule> schedule_;
+  rounding_policy policy_;
+  std::vector<weight_t> loads_;
+  std::vector<real_t> accumulated_error_;  // quasirandom Δ̂, oriented u→v
+  std::vector<real_t> alpha_buf_;
+  rng_t rng_;
+  round_t t_ = 0;
+  std::int64_t negative_events_ = 0;
+  weight_t min_load_seen_ = 0;
+};
+
+}  // namespace dlb

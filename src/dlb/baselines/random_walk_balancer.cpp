@@ -1,0 +1,146 @@
+#include "dlb/baselines/random_walk_balancer.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/metrics.hpp"
+
+namespace dlb {
+
+random_walk_balancer::random_walk_balancer(std::shared_ptr<const graph> g,
+                                           speed_vector s,
+                                           std::vector<real_t> alpha,
+                                           std::vector<weight_t> tokens,
+                                           std::uint64_t seed,
+                                           random_walk_config config)
+    : g_(std::move(g)),
+      s_(std::move(s)),
+      alpha_(std::move(alpha)),
+      cfg_(config),
+      loads_(std::move(tokens)),
+      rng_(make_rng(seed, /*stream=*/0x2A1Cu)) {
+  DLB_EXPECTS(g_ != nullptr);
+  validate_alphas(*g_, s_, alpha_);
+  for (const weight_t si : s_) DLB_EXPECTS(si == 1);  // [19]: uniform speeds
+  DLB_EXPECTS(static_cast<node_id>(loads_.size()) == g_->num_nodes());
+  for (const weight_t c : loads_) DLB_EXPECTS(c >= 0);
+  DLB_EXPECTS(cfg_.phase1_rounds >= 0 && cfg_.slack >= 0);
+  DLB_EXPECTS(cfg_.laziness >= 0 && cfg_.laziness < 1.0);
+  positive_.assign(loads_.size(), 0);
+  negative_.assign(loads_.size(), 0);
+}
+
+weight_t random_walk_balancer::positive_tokens() const {
+  weight_t k = 0;
+  for (const weight_t p : positive_) k += p;
+  return k;
+}
+
+weight_t random_walk_balancer::negative_tokens() const {
+  weight_t k = 0;
+  for (const weight_t p : negative_) k += p;
+  return k;
+}
+
+void random_walk_balancer::coarse_step() {
+  // Discrete round-down FOS, net-difference form (uniform speeds).
+  const graph& g = *g_;
+  std::vector<weight_t> delta(static_cast<size_t>(g.num_nodes()), 0);
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    const real_t diff =
+        alpha_[static_cast<size_t>(e)] *
+        (static_cast<real_t>(loads_[static_cast<size_t>(ed.u)]) -
+         static_cast<real_t>(loads_[static_cast<size_t>(ed.v)]));
+    const weight_t sent =
+        static_cast<weight_t>(std::floor(std::abs(diff) + flow_epsilon));
+    if (sent == 0) continue;
+    const node_id from = diff > 0 ? ed.u : ed.v;
+    const node_id to = diff > 0 ? ed.v : ed.u;
+    delta[static_cast<size_t>(from)] -= sent;
+    delta[static_cast<size_t>(to)] += sent;
+  }
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    loads_[static_cast<size_t>(i)] += delta[static_cast<size_t>(i)];
+  }
+}
+
+void random_walk_balancer::mark_tokens() {
+  // α = ⌈m/n⌉ + c; every unit above α is a positive walker, every hole below
+  // α a negative walker.
+  weight_t total = 0;
+  for (const weight_t x : loads_) total += x;
+  const weight_t avg_ceil = (total + g_->num_nodes() - 1) / g_->num_nodes();
+  threshold_ = avg_ceil + cfg_.slack;
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    if (loads_[i] > threshold_) {
+      positive_[i] = loads_[i] - threshold_;
+    } else if (loads_[i] < threshold_) {
+      negative_[i] = threshold_ - loads_[i];
+    }
+  }
+  tokens_marked_ = true;
+}
+
+void random_walk_balancer::fine_step() {
+  if (!tokens_marked_) mark_tokens();
+  const graph& g = *g_;
+
+  // Every walker takes one lazy random-walk step. Moving a positive walker
+  // i→j carries one load unit i→j; a negative walker i→j pulls one unit j→i.
+  std::vector<weight_t> new_pos(positive_.size(), 0);
+  std::vector<weight_t> new_neg(negative_.size(), 0);
+  std::vector<weight_t> load_delta(loads_.size(), 0);
+
+  const auto walk_one = [&](node_id at) -> node_id {
+    if (g.degree(at) == 0 || bernoulli(rng_, cfg_.laziness)) return at;
+    const auto nbrs = g.neighbors(at);
+    const auto pick = static_cast<std::size_t>(uniform_int<std::int64_t>(
+        rng_, 0, static_cast<std::int64_t>(nbrs.size()) - 1));
+    return nbrs[pick].neighbor;
+  };
+
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    for (weight_t k = 0; k < positive_[static_cast<size_t>(i)]; ++k) {
+      const node_id j = walk_one(i);
+      ++new_pos[static_cast<size_t>(j)];
+      if (j != i) {
+        --load_delta[static_cast<size_t>(i)];
+        ++load_delta[static_cast<size_t>(j)];
+      }
+    }
+    for (weight_t k = 0; k < negative_[static_cast<size_t>(i)]; ++k) {
+      const node_id j = walk_one(i);
+      ++new_neg[static_cast<size_t>(j)];
+      if (j != i) {
+        ++load_delta[static_cast<size_t>(i)];
+        --load_delta[static_cast<size_t>(j)];
+      }
+    }
+  }
+
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    loads_[static_cast<size_t>(i)] += load_delta[static_cast<size_t>(i)];
+    if (loads_[static_cast<size_t>(i)] < 0) ++negative_events_;
+    // Annihilation: positive meets negative.
+    const weight_t cancel = std::min(new_pos[static_cast<size_t>(i)],
+                                     new_neg[static_cast<size_t>(i)]);
+    positive_[static_cast<size_t>(i)] =
+        new_pos[static_cast<size_t>(i)] - cancel;
+    negative_[static_cast<size_t>(i)] =
+        new_neg[static_cast<size_t>(i)] - cancel;
+  }
+}
+
+void random_walk_balancer::step() {
+  if (t_ < cfg_.phase1_rounds) {
+    coarse_step();
+  } else {
+    fine_step();
+  }
+  ++t_;
+}
+
+}  // namespace dlb

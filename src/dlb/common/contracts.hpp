@@ -1,0 +1,50 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6/I.8: Expects/Ensures). Violations throw so that tests can assert on
+// misuse without aborting the whole process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dlb {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class contract_violation : public std::logic_error {
+ public:
+  explicit contract_violation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw contract_violation(std::string(kind) + " failed: (" + expr + ") at " +
+                           file + ":" + std::to_string(line));
+}
+
+}  // namespace detail
+}  // namespace dlb
+
+/// Precondition check: validates arguments at public API boundaries.
+#define DLB_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::dlb::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                   __LINE__);                              \
+  } while (false)
+
+/// Postcondition check: validates results before returning them.
+#define DLB_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::dlb::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                   __LINE__);                              \
+  } while (false)
+
+/// Internal invariant check; same mechanism, different label for diagnosis.
+#define DLB_ASSERT(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::dlb::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,47 @@
+// Seeded random number utilities. No global RNG state anywhere in dlb:
+// every randomized component receives an explicit seed or engine so that
+// whole experiments are reproducible from a single master seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace dlb {
+
+/// The engine used throughout the library.
+using rng_t = std::mt19937_64;
+
+/// Derives a stream-specific seed from a master seed. Uses the SplitMix64
+/// finalizer so that nearby (master, stream) pairs yield decorrelated seeds.
+[[nodiscard]] inline std::uint64_t derive_seed(std::uint64_t master,
+                                               std::uint64_t stream) noexcept {
+  std::uint64_t z = master + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Constructs an engine for a (master seed, stream id) pair.
+[[nodiscard]] inline rng_t make_rng(std::uint64_t master,
+                                    std::uint64_t stream = 0) {
+  return rng_t{derive_seed(master, stream)};
+}
+
+/// Bernoulli draw with success probability p in [0,1].
+[[nodiscard]] inline bool bernoulli(rng_t& rng, double p) {
+  return std::bernoulli_distribution{p}(rng);
+}
+
+/// Uniform integer in [lo, hi] inclusive.
+template <typename Int>
+[[nodiscard]] Int uniform_int(rng_t& rng, Int lo, Int hi) {
+  return std::uniform_int_distribution<Int>{lo, hi}(rng);
+}
+
+/// Uniform real in [lo, hi).
+[[nodiscard]] inline double uniform_real(rng_t& rng, double lo = 0.0,
+                                         double hi = 1.0) {
+  return std::uniform_real_distribution<double>{lo, hi}(rng);
+}
+
+}  // namespace dlb

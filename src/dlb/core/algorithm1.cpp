@@ -1,0 +1,142 @@
+#include "dlb/core/algorithm1.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace dlb {
+
+namespace {
+
+/// One pending transfer: the task set S_ij in flight over an edge.
+struct pending_transfer {
+  node_id to = invalid_node;
+  std::vector<weight_t> real_weights;
+  std::vector<node_id> real_origins;  // parallel to real_weights
+  weight_t dummy_count = 0;
+  weight_t total = 0;
+};
+
+const graph& checked_topology(const continuous_process* p) {
+  DLB_EXPECTS(p != nullptr);
+  return p->topology();
+}
+
+}  // namespace
+
+algorithm1::algorithm1(std::unique_ptr<continuous_process> process,
+                       task_assignment initial, algorithm1_config config)
+    : process_(std::move(process)),
+      tasks_(std::move(initial)),
+      config_(config),
+      ledger_(checked_topology(process_.get())) {
+  DLB_EXPECTS(tasks_.num_nodes() == process_->topology().num_nodes());
+  wmax_ = config_.wmax_override > 0 ? config_.wmax_override
+                                    : tasks_.max_task_weight();
+  DLB_EXPECTS(wmax_ >= tasks_.max_task_weight());
+
+  // Start the internal continuous simulation from the same load vector
+  // (x^A(0) = x^D(0)); paper footnote 1.
+  loads_ = tasks_.loads();
+  std::vector<real_t> x0(loads_.size());
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    x0[i] = static_cast<real_t>(loads_[i]);
+  }
+  process_->reset(std::move(x0));
+  last_sent_.assign(static_cast<size_t>(process_->topology().num_edges()), 0);
+}
+
+void algorithm1::inject_tokens(node_id i, weight_t count) {
+  DLB_EXPECTS(count >= 0);
+  for (weight_t k = 0; k < count; ++k) inject_task(i, 1);
+}
+
+void algorithm1::inject_task(node_id i, weight_t w) {
+  DLB_EXPECTS(w >= 1 && w <= wmax_);
+  tasks_.pool(i).add_real(w, i);
+  loads_[static_cast<size_t>(i)] += w;
+  process_->inject_load(i, static_cast<real_t>(w));
+}
+
+void algorithm1::step() {
+  const graph& g = process_->topology();
+
+  // Advance the continuous reference to round t, making f^A_{i,j}(t) known.
+  process_->step();
+
+  std::fill(last_sent_.begin(), last_sent_.end(), 0);
+  std::vector<pending_transfer> outbox(static_cast<size_t>(g.num_edges()));
+
+  // Each node allocates tasks to its outgoing transfer sets. Only the
+  // direction with positive deficit sends (Observation 4's argument); the
+  // node's pool shrinks as edges are processed, so tasks committed to one
+  // edge are unavailable to the next ("unallocated tasks").
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    // Deficit oriented u→v. Snap near-integer values to kill float dust.
+    real_t deficit = process_->cumulative_flow(e) -
+                     static_cast<real_t>(ledger_.forward(e));
+    const real_t snapped = std::round(deficit);
+    if (std::abs(deficit - snapped) < flow_epsilon) deficit = snapped;
+
+    node_id sender = invalid_node;
+    node_id receiver = invalid_node;
+    real_t amount = 0;
+    if (deficit > 0) {
+      sender = ed.u;
+      receiver = ed.v;
+      amount = deficit;
+    } else if (deficit < 0) {
+      sender = ed.v;
+      receiver = ed.u;
+      amount = -deficit;
+    } else {
+      continue;
+    }
+
+    pending_transfer& out = outbox[static_cast<size_t>(e)];
+    out.to = receiver;
+    task_pool& pool = tasks_.pool(sender);
+    // while ŷ - |S| >= w_max: add one more task (floor semantics; see
+    // header note). Dummies are created only when the pool is empty.
+    while (amount - static_cast<real_t>(out.total) >=
+           static_cast<real_t>(wmax_) - flow_epsilon) {
+      if (pool.empty()) {
+        ++out.dummy_count;
+        ++out.total;
+        ++dummy_created_;
+      } else {
+        const task_pool::removed_task q =
+            pool.remove_arbitrary(config_.removal);
+        if (q.is_dummy) {
+          ++out.dummy_count;
+        } else {
+          out.real_weights.push_back(q.weight);
+          out.real_origins.push_back(q.origin);
+        }
+        out.total += q.weight;
+      }
+    }
+    if (out.total > 0) {
+      ledger_.record(e, sender, out.total);
+      last_sent_[static_cast<size_t>(e)] =
+          sender == ed.u ? out.total : -out.total;
+    }
+  }
+
+  // Deliver all transfers synchronously (tasks received this round cannot be
+  // re-sent this round).
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    pending_transfer& out = outbox[static_cast<size_t>(e)];
+    if (out.to == invalid_node || out.total == 0) continue;
+    task_pool& dest = tasks_.pool(out.to);
+    for (std::size_t k = 0; k < out.real_weights.size(); ++k) {
+      dest.add_real(out.real_weights[k], out.real_origins[k]);
+    }
+    dest.add_dummies(out.dummy_count);
+  }
+
+  loads_ = tasks_.loads();
+  ++t_;
+}
+
+}  // namespace dlb

@@ -1,0 +1,115 @@
+// Algorithm 1 of the paper: deterministic flow imitation.
+//
+// D(A) tracks the cumulative flow f^A_{i,j}(t) of the continuous process A
+// (re-simulated internally, exactly as the paper's footnote 1 prescribes) and
+// each round tries to make up the flow deficit
+//     ŷ_{i,j}(t) = f^A_{i,j}(t) - f^D_{i,j}(t-1)
+// by moving whole tasks: it greedily adds tasks to the transfer set S_ij
+// while the remaining deficit is at least w_max, drawing unit-weight dummy
+// tokens from the node's infinite source when its pool runs dry.
+//
+// Guarantees (Theorem 3): at the balancing time T^A of A,
+//  (1) max-avg discrepancy <= 2·d·w_max + 2, always;
+//  (2) max-min discrepancy <= 2·d·w_max + 2 and no dummy is ever created, if
+//      the initial load majorizes d·w_max·(s_1,...,s_n) (Lemma 7).
+//
+// Loop-condition note (documented in DESIGN.md §3): we add tasks while
+// `deficit - |S| >= w_max`, i.e. floor semantics, matching the paper's prose
+// ("send ⌊f^A - f^D(t-1)⌋") and Observation 4's strict bound |e| < w_max.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dlb/core/flow_ledger.hpp"
+#include "dlb/core/process.hpp"
+#include "dlb/core/tasks.hpp"
+
+namespace dlb {
+
+struct algorithm1_config {
+  /// Which task to pick when the paper says "arbitrary task".
+  removal_policy removal = removal_policy::real_first;
+  /// Override for w_max; 0 derives it from the initial assignment.
+  weight_t wmax_override = 0;
+};
+
+class algorithm1 final : public discrete_process {
+ public:
+  /// `process` is a *fresh* continuous process (it will be reset to the
+  /// total-weight load vector of `initial` and stepped internally).
+  algorithm1(std::unique_ptr<continuous_process> process,
+             task_assignment initial, algorithm1_config config = {});
+
+  void step() override;
+
+  [[nodiscard]] const std::vector<weight_t>& loads() const override {
+    return loads_;
+  }
+  [[nodiscard]] std::vector<weight_t> real_loads() const override {
+    return tasks_.real_loads();
+  }
+  [[nodiscard]] const graph& topology() const override {
+    return process_->topology();
+  }
+  [[nodiscard]] const speed_vector& speeds() const override {
+    return process_->speeds();
+  }
+  [[nodiscard]] round_t rounds_executed() const override { return t_; }
+  [[nodiscard]] weight_t dummy_created() const override {
+    return dummy_created_;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "alg1-flow-imitation(" + process_->name() + ")";
+  }
+
+  /// Dynamic arrivals: `count` unit tasks land on node i, mirrored into the
+  /// internal continuous process (additivity keeps the imitation valid).
+  void inject_tokens(node_id i, weight_t count) override;
+
+  /// Weighted arrival variant: one task of weight `w`.
+  void inject_task(node_id i, weight_t w);
+
+  /// The internally simulated continuous process A (read-only).
+  [[nodiscard]] const continuous_process& continuous() const {
+    return *process_;
+  }
+
+  /// w_max used by the transfer loop.
+  [[nodiscard]] weight_t wmax() const { return wmax_; }
+
+  /// Discrete cumulative flow f^D_{u,v}(t-1), oriented u→v.
+  [[nodiscard]] weight_t discrete_flow(edge_id e) const {
+    return ledger_.forward(e);
+  }
+
+  /// Flow deviation e_{u,v}(t-1) = f^A - f^D, oriented u→v. Observation 4:
+  /// |e| < w_max at all times.
+  [[nodiscard]] real_t flow_error(edge_id e) const {
+    return process_->cumulative_flow(e) -
+           static_cast<real_t>(ledger_.forward(e));
+  }
+
+  /// Weight sent over edge e in the last round, oriented u→v (signed); used
+  /// by tests of Observation 5.
+  [[nodiscard]] weight_t last_sent(edge_id e) const {
+    DLB_EXPECTS(e >= 0 && e < topology().num_edges());
+    return last_sent_[static_cast<size_t>(e)];
+  }
+
+  /// Task pools (read-only view).
+  [[nodiscard]] const task_assignment& tasks() const { return tasks_; }
+
+ private:
+  std::unique_ptr<continuous_process> process_;
+  task_assignment tasks_;
+  algorithm1_config config_;
+  weight_t wmax_ = 1;
+  discrete_flow_ledger ledger_;
+  std::vector<weight_t> loads_;
+  std::vector<weight_t> last_sent_;
+  weight_t dummy_created_ = 0;
+  round_t t_ = 0;
+};
+
+}  // namespace dlb

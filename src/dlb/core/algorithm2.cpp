@@ -1,0 +1,145 @@
+#include "dlb/core/algorithm2.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace dlb {
+
+namespace {
+
+const graph& checked_topology(const continuous_process* p) {
+  DLB_EXPECTS(p != nullptr);
+  return p->topology();
+}
+
+}  // namespace
+
+algorithm2::algorithm2(std::unique_ptr<continuous_process> process,
+                       std::vector<weight_t> tokens, std::uint64_t seed,
+                       std::vector<weight_t> dummy_preload)
+    : process_(std::move(process)),
+      loads_(std::move(tokens)),
+      ledger_(checked_topology(process_.get())),
+      rng_(make_rng(seed, /*stream=*/0xA19u)) {
+  const graph& g = process_->topology();
+  DLB_EXPECTS(static_cast<node_id>(loads_.size()) == g.num_nodes());
+  for (const weight_t c : loads_) DLB_EXPECTS(c >= 0);
+  dummies_.assign(loads_.size(), 0);
+  if (!dummy_preload.empty()) {
+    DLB_EXPECTS(dummy_preload.size() == loads_.size());
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+      DLB_EXPECTS(dummy_preload[i] >= 0);
+      loads_[i] += dummy_preload[i];
+      dummies_[i] = dummy_preload[i];
+    }
+  }
+
+  std::vector<real_t> x0(loads_.size());
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    x0[i] = static_cast<real_t>(loads_[i]);
+  }
+  process_->reset(std::move(x0));
+}
+
+std::vector<weight_t> algorithm2::real_loads() const {
+  std::vector<weight_t> x(loads_.size());
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    x[i] = loads_[i] - dummies_[i];
+  }
+  return x;
+}
+
+void algorithm2::inject_tokens(node_id i, weight_t count) {
+  DLB_EXPECTS(i >= 0 && i < topology().num_nodes());
+  DLB_EXPECTS(count >= 0);
+  loads_[static_cast<size_t>(i)] += count;
+  process_->inject_load(i, static_cast<real_t>(count));
+}
+
+void algorithm2::step() {
+  const graph& g = process_->topology();
+  process_->step();
+
+  // Phase 1: every edge's positive-deficit direction decides its rounded
+  // send Y = ⌊Ŷ⌋ + Bernoulli({Ŷ}). Transfers are synchronous: decisions see
+  // only round-start state, deliveries land afterwards.
+  struct send_record {
+    edge_id e;
+    node_id sender;
+    weight_t y;
+  };
+  std::vector<send_record> sends;
+  std::vector<weight_t> sent(static_cast<size_t>(g.num_nodes()), 0);
+  std::vector<weight_t> recv(static_cast<size_t>(g.num_nodes()), 0);
+
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    real_t deficit = process_->cumulative_flow(e) -
+                     static_cast<real_t>(ledger_.forward(e));
+    const real_t snapped = std::round(deficit);
+    if (std::abs(deficit - snapped) < flow_epsilon) deficit = snapped;
+    if (deficit == 0) continue;
+
+    const node_id sender = deficit > 0 ? ed.u : ed.v;
+    const real_t amount = std::abs(deficit);
+    const real_t fl = std::floor(amount);
+    const real_t frac = amount - fl;
+    weight_t y = static_cast<weight_t>(fl);
+    if (frac > 0 && bernoulli(rng_, frac)) ++y;
+    if (y == 0) continue;
+
+    ledger_.record(e, sender, y);
+    sends.push_back({e, sender, y});
+    sent[static_cast<size_t>(sender)] += y;
+    recv[static_cast<size_t>(g.other_endpoint(e, sender))] += y;
+  }
+
+  // Phase 2: resolve each sender's real/dummy token composition. Real tokens
+  // ship first; when the pool is short, dummies ship, minted from the
+  // infinite source if the node holds none. (Dummies are dynamically
+  // indistinguishable from real tokens — the paper treats them as normal —
+  // so the bookkeeping below only affects final-report elimination.)
+  std::vector<weight_t> dummy_out(static_cast<size_t>(g.num_nodes()), 0);
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    const weight_t out = sent[static_cast<size_t>(i)];
+    if (out == 0) continue;
+    const weight_t real_avail =
+        loads_[static_cast<size_t>(i)] - dummies_[static_cast<size_t>(i)];
+    if (out > real_avail) {
+      const weight_t needed = out - real_avail;
+      const weight_t minted =
+          needed - std::min(needed, dummies_[static_cast<size_t>(i)]);
+      dummy_created_ += minted;
+      loads_[static_cast<size_t>(i)] += minted;
+      dummies_[static_cast<size_t>(i)] += minted;
+      dummy_out[static_cast<size_t>(i)] = needed;
+    }
+  }
+
+  // Phase 3: route dummy attribution with the tokens, filling each sender's
+  // outgoing edges in order until its dummy quota is spent.
+  std::vector<weight_t> dummy_remaining = dummy_out;
+  std::vector<weight_t> recv_dummy(static_cast<size_t>(g.num_nodes()), 0);
+  for (const send_record& s : sends) {
+    const weight_t d =
+        std::min(dummy_remaining[static_cast<size_t>(s.sender)], s.y);
+    if (d == 0) continue;
+    dummy_remaining[static_cast<size_t>(s.sender)] -= d;
+    recv_dummy[static_cast<size_t>(g.other_endpoint(s.e, s.sender))] += d;
+  }
+  for (const weight_t rem : dummy_remaining) DLB_ASSERT(rem == 0);
+
+  // Phase 4: apply the synchronous deltas.
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    loads_[static_cast<size_t>(i)] +=
+        recv[static_cast<size_t>(i)] - sent[static_cast<size_t>(i)];
+    dummies_[static_cast<size_t>(i)] += recv_dummy[static_cast<size_t>(i)] -
+                                        dummy_out[static_cast<size_t>(i)];
+    DLB_ASSERT(loads_[static_cast<size_t>(i)] >= 0);
+    DLB_ASSERT(dummies_[static_cast<size_t>(i)] >= 0);
+  }
+
+  ++t_;
+}
+
+}  // namespace dlb

@@ -1,0 +1,89 @@
+// Algorithm 2 of the paper: randomized flow imitation (identical tasks).
+//
+// Like Algorithm 1 the process imitates the cumulative continuous flow, but
+// the per-round deficit Ŷ_{i,j}(t) = f^A_{i,j}(t) - F^D_{i,j}(t-1) is rounded
+// *randomly*: send ⌊Ŷ⌋ + Bernoulli({Ŷ}) tokens (only the positive direction
+// sends). Rounding errors are then zero-mean (Observation 9(3)), and Hoeffding
+// concentration (Lemma 12) yields
+//   Theorem 8: max-avg discrepancy <= d/4 + O(sqrt(d·log n)) w.h.p., and
+//   max-min discrepancy O(sqrt(d·log n)) given sufficient initial load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dlb/common/rng.hpp"
+#include "dlb/core/flow_ledger.hpp"
+#include "dlb/core/process.hpp"
+
+namespace dlb {
+
+class algorithm2 final : public discrete_process {
+ public:
+  /// `process` is a fresh continuous process; `tokens[i]` is the number of
+  /// unit tasks initially on node i; `seed` drives the rounding coins.
+  /// `dummy_preload[i]` extra dummy tokens are placed on node i at start (the
+  /// Theorem 8(1) device; pass empty for none) — they count toward loads()
+  /// but not real_loads().
+  algorithm2(std::unique_ptr<continuous_process> process,
+             std::vector<weight_t> tokens, std::uint64_t seed,
+             std::vector<weight_t> dummy_preload = {});
+
+  void step() override;
+
+  [[nodiscard]] const std::vector<weight_t>& loads() const override {
+    return loads_;
+  }
+  [[nodiscard]] std::vector<weight_t> real_loads() const override;
+  [[nodiscard]] const graph& topology() const override {
+    return process_->topology();
+  }
+  [[nodiscard]] const speed_vector& speeds() const override {
+    return process_->speeds();
+  }
+  [[nodiscard]] round_t rounds_executed() const override { return t_; }
+  [[nodiscard]] weight_t dummy_created() const override {
+    return dummy_created_;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "alg2-randomized-imitation(" + process_->name() + ")";
+  }
+
+  /// Dynamic arrivals: `count` unit tokens land on node i, mirrored into the
+  /// internal continuous process.
+  void inject_tokens(node_id i, weight_t count) override;
+
+  [[nodiscard]] const continuous_process& continuous() const {
+    return *process_;
+  }
+
+  /// Flow deviation E_{u,v}(t) = f^A - F^D, oriented u→v. Observation 9(3):
+  /// always in (-1, 1).
+  [[nodiscard]] real_t flow_error(edge_id e) const {
+    return process_->cumulative_flow(e) -
+           static_cast<real_t>(ledger_.forward(e));
+  }
+
+  /// Discrete cumulative flow F^D_{u,v}(t-1), oriented u→v.
+  [[nodiscard]] weight_t discrete_flow(edge_id e) const {
+    return ledger_.forward(e);
+  }
+
+  /// Dummy tokens currently residing on node i.
+  [[nodiscard]] weight_t dummies_at(node_id i) const {
+    DLB_EXPECTS(i >= 0 && i < topology().num_nodes());
+    return dummies_[static_cast<size_t>(i)];
+  }
+
+ private:
+  std::unique_ptr<continuous_process> process_;
+  std::vector<weight_t> loads_;    // token counts incl. dummies
+  std::vector<weight_t> dummies_;  // dummy tokens residing per node
+  discrete_flow_ledger ledger_;
+  rng_t rng_;
+  weight_t dummy_created_ = 0;
+  round_t t_ = 0;
+};
+
+}  // namespace dlb

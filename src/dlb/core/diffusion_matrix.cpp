@@ -1,0 +1,47 @@
+#include "dlb/core/diffusion_matrix.hpp"
+
+#include <algorithm>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb {
+
+std::vector<real_t> make_alphas(const graph& g, alpha_scheme scheme) {
+  std::vector<real_t> alpha(static_cast<size_t>(g.num_edges()));
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    const real_t dmax =
+        static_cast<real_t>(std::max(g.degree(ed.u), g.degree(ed.v)));
+    switch (scheme) {
+      case alpha_scheme::half_max_degree:
+        alpha[static_cast<size_t>(e)] = 1.0 / (2.0 * dmax);
+        break;
+      case alpha_scheme::max_degree_plus_one:
+        alpha[static_cast<size_t>(e)] = 1.0 / (dmax + 1.0);
+        break;
+    }
+  }
+  return alpha;
+}
+
+void validate_alphas(const graph& g, const speed_vector& s,
+                     const std::vector<real_t>& alpha) {
+  validate_speeds(g, s);
+  DLB_EXPECTS(static_cast<edge_id>(alpha.size()) == g.num_edges());
+  for (const real_t a : alpha) DLB_EXPECTS(a > 0);
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    real_t out = 0;
+    for (const incidence& inc : g.neighbors(i)) {
+      out += alpha[static_cast<size_t>(inc.edge)];
+    }
+    DLB_EXPECTS(out < static_cast<real_t>(s[static_cast<size_t>(i)]));
+  }
+}
+
+real_t matching_alpha(weight_t s_i, weight_t s_j) {
+  DLB_EXPECTS(s_i >= 1 && s_j >= 1);
+  return static_cast<real_t>(s_i) * static_cast<real_t>(s_j) /
+         static_cast<real_t>(s_i + s_j);
+}
+
+}  // namespace dlb

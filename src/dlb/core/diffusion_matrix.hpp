@@ -1,0 +1,37 @@
+// Diffusion coefficients α_{i,j} and the standard schemes for choosing them.
+//
+// FOS/SOS (paper eqs. (1)-(4)) are parameterized by symmetric α_{i,j} > 0
+// with the constraint Σ_{j∈N(i)} α_{i,j} < s_i for every node i, which makes
+// P (P_{i,j} = α_{i,j}/s_i, P_{i,i} = 1 - Σ_j P_{i,j}) row-stochastic with
+// stationary distribution (s_1/S, ..., s_n/S). The paper names the two
+// common choices implemented here.
+#pragma once
+
+#include <vector>
+
+#include "dlb/common/types.hpp"
+#include "dlb/graph/graph.hpp"
+#include "dlb/graph/spectral.hpp"  // speed_vector
+
+namespace dlb {
+
+/// Standard choices for α_{i,j} (paper §2.1).
+enum class alpha_scheme {
+  half_max_degree,      ///< α_{i,j} = 1 / (2·max(d_i, d_j))
+  max_degree_plus_one,  ///< α_{i,j} = 1 / (max(d_i, d_j) + 1)
+};
+
+/// Builds the per-edge α vector for a scheme.
+[[nodiscard]] std::vector<real_t> make_alphas(const graph& g,
+                                              alpha_scheme scheme);
+
+/// Validates a custom α vector: one positive entry per edge and
+/// Σ_{j∈N(i)} α_{i,j} < s_i for every node. Throws on violation.
+void validate_alphas(const graph& g, const speed_vector& s,
+                     const std::vector<real_t>& alpha);
+
+/// The matching-model α for edge (i,j): s_i·s_j/(s_i+s_j), which equalizes
+/// the two endpoint makespans in one exchange (paper eq. (5)).
+[[nodiscard]] real_t matching_alpha(weight_t s_i, weight_t s_j);
+
+}  // namespace dlb

@@ -1,0 +1,111 @@
+#include "dlb/core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb {
+
+bool is_balanced(const continuous_process& a, real_t tol) {
+  const std::vector<real_t>& x = a.loads();
+  const speed_vector& s = a.speeds();
+  weight_t total_speed = 0;
+  for (const weight_t si : s) total_speed += si;
+  real_t w = 0;
+  for (const real_t xi : x) w += xi;
+  const real_t per_speed = w / static_cast<real_t>(total_speed);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i] - per_speed * static_cast<real_t>(s[i])) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+balancing_time_result measure_balancing_time(continuous_process& a,
+                                             const std::vector<real_t>& x0,
+                                             round_t cap) {
+  DLB_EXPECTS(cap >= 0);
+  a.reset(std::vector<real_t>(x0));
+  balancing_time_result r;
+  while (!is_balanced(a)) {
+    if (a.rounds_executed() >= cap) {
+      r.rounds = cap;
+      r.converged = false;
+      r.negative_load = a.negative_load_detected();
+      return r;
+    }
+    a.step();
+  }
+  r.rounds = a.rounds_executed();
+  r.converged = true;
+  r.negative_load = a.negative_load_detected();
+  return r;
+}
+
+void run_rounds(discrete_process& d, round_t rounds,
+                const round_observer& obs) {
+  DLB_EXPECTS(rounds >= 0);
+  for (round_t t = 0; t < rounds; ++t) {
+    d.step();
+    if (obs) obs(d.rounds_executed(), d);
+  }
+}
+
+dynamic_result run_dynamic(discrete_process& d,
+                           const workload::arrival_schedule& sched,
+                           round_t rounds, const round_observer& obs) {
+  DLB_EXPECTS(rounds >= 1);
+  dynamic_result r;
+  r.rounds = rounds;
+  const round_t warmup = rounds / 2;
+  real_t sum = 0;
+  round_t samples = 0;
+  for (round_t t = 0; t < rounds; ++t) {
+    for (const workload::arrival& a : sched.arrivals(t)) {
+      d.inject_tokens(a.node, a.count);
+      r.total_arrived += a.count;
+    }
+    d.step();
+    if (obs) obs(d.rounds_executed(), d);
+    if (t >= warmup) {
+      const real_t disc = max_min_discrepancy(d.real_loads(), d.speeds());
+      sum += disc;
+      r.peak_max_min = std::max(r.peak_max_min, disc);
+      ++samples;
+    }
+  }
+  r.mean_max_min = samples > 0 ? sum / static_cast<real_t>(samples) : 0;
+  r.final_max_min = max_min_discrepancy(d.real_loads(), d.speeds());
+  return r;
+}
+
+experiment_result run_experiment(discrete_process& d,
+                                 const continuous_process& reference_template,
+                                 round_t cap,
+                                 const round_observer& obs) {
+  // Balancing time of the continuous reference from the discrete start.
+  std::vector<real_t> x0(d.loads().size());
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    x0[i] = static_cast<real_t>(d.loads()[i]);
+  }
+  auto reference = reference_template.clone_fresh();
+  const balancing_time_result bt =
+      measure_balancing_time(*reference, x0, cap);
+
+  run_rounds(d, bt.rounds, obs);
+
+  experiment_result r;
+  r.rounds = bt.rounds;
+  r.continuous_converged = bt.converged;
+  r.continuous_negative_load = bt.negative_load;
+  r.final_loads = d.loads();
+  r.final_real_loads = d.real_loads();
+  r.dummy_created = d.dummy_created();
+  r.final_max_min = max_min_discrepancy(r.final_real_loads, d.speeds());
+  r.final_max_avg = max_avg_discrepancy(r.final_real_loads, d.speeds());
+  return r;
+}
+
+}  // namespace dlb

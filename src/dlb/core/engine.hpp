@@ -1,0 +1,78 @@
+// The experiment engine: balancing-time measurement and lock-step execution.
+//
+// The paper's guarantees are stated *at the balancing time of the continuous
+// process*, T^A = min{ t : ∀i, |x_i(t) - W·s_i/S| <= 1 } (§3). The engine
+// measures T^A on a fresh copy of A, then drives any discrete_process for
+// exactly that many rounds, recording metrics along the way.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dlb/core/metrics.hpp"
+#include "dlb/core/process.hpp"
+#include "dlb/workload/arrival.hpp"
+
+namespace dlb {
+
+/// Result of a balancing-time search.
+struct balancing_time_result {
+  round_t rounds = 0;       ///< T^A, or the cap if !converged
+  bool converged = false;   ///< reached the |x_i - W·s_i/S| <= 1 state
+  bool negative_load = false;  ///< Definition 1 violated along the way
+};
+
+/// Runs `a` (reset to x0) until every node is within 1 of its balanced load,
+/// or `cap` rounds elapse. Returns T^A and whether A induced negative load.
+[[nodiscard]] balancing_time_result measure_balancing_time(
+    continuous_process& a, const std::vector<real_t>& x0, round_t cap);
+
+/// True iff every node of `a` is within `tol` of its balanced share.
+[[nodiscard]] bool is_balanced(const continuous_process& a, real_t tol = 1.0);
+
+/// Per-round observation hook; `d` has just completed round `t` (1-based
+/// count of executed rounds).
+using round_observer = std::function<void(round_t t, const discrete_process& d)>;
+
+/// Advances `d` by `rounds` rounds, invoking `obs` (if any) after each.
+void run_rounds(discrete_process& d, round_t rounds,
+                const round_observer& obs = nullptr);
+
+/// Aggregate outcome of one discrete experiment.
+struct experiment_result {
+  round_t rounds = 0;             ///< rounds executed (usually T^A)
+  bool continuous_converged = false;
+  bool continuous_negative_load = false;
+  real_t final_max_min = 0;       ///< on real loads (dummies eliminated)
+  real_t final_max_avg = 0;       ///< vs. the *original* average W'/S
+  weight_t dummy_created = 0;
+  std::vector<weight_t> final_loads;       ///< incl. dummies
+  std::vector<weight_t> final_real_loads;  ///< dummies eliminated
+};
+
+/// Measures T^A with `reference` (a fresh clone of the continuous process
+/// underlying `d`, or any process whose T should gate the run), then runs `d`
+/// for T rounds and reports final metrics. The max-avg figure is computed
+/// against the original total load (dummy weight excluded), matching the
+/// paper's reporting convention.
+[[nodiscard]] experiment_result run_experiment(
+    discrete_process& d, const continuous_process& reference_template,
+    round_t cap, const round_observer& obs = nullptr);
+
+/// Outcome of a dynamic (arrivals-while-balancing) run.
+struct dynamic_result {
+  round_t rounds = 0;
+  weight_t total_arrived = 0;
+  real_t mean_max_min = 0;  ///< time-average discrepancy over the last half
+  real_t peak_max_min = 0;  ///< worst discrepancy over the last half
+  real_t final_max_min = 0;
+};
+
+/// Runs `d` for `rounds` rounds, injecting `sched`'s arrivals at the start
+/// of each round. Steady-state statistics are taken over the second half of
+/// the run (the first half is warm-up).
+[[nodiscard]] dynamic_result run_dynamic(
+    discrete_process& d, const workload::arrival_schedule& sched,
+    round_t rounds, const round_observer& obs = nullptr);
+
+}  // namespace dlb

@@ -1,0 +1,64 @@
+// Cumulative per-edge flow bookkeeping f_{i,j}(t) (paper §3).
+//
+// Flows are antisymmetric: f_{i,j}(t) = -f_{j,i}(t). We store one signed
+// value per edge, positive in the u→v direction of the normalized endpoints.
+// Continuous processes use real flows, discrete ones exact integers.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/common/types.hpp"
+#include "dlb/graph/graph.hpp"
+
+namespace dlb {
+
+template <typename T>
+class basic_flow_ledger {
+ public:
+  explicit basic_flow_ledger(const graph& g)
+      : g_(&g), flow_(static_cast<size_t>(g.num_edges()), T{0}) {}
+
+  /// Resets all flows to zero (f_{i,j}(-1) = 0).
+  void reset() { std::fill(flow_.begin(), flow_.end(), T{0}); }
+
+  /// f oriented u→v (positive means net u→v transfer so far).
+  [[nodiscard]] T forward(edge_id e) const {
+    DLB_EXPECTS(e >= 0 && e < g_->num_edges());
+    return flow_[static_cast<size_t>(e)];
+  }
+
+  /// f_{from,·}(t) over edge e: +forward if `from` is u, else -forward.
+  [[nodiscard]] T from(edge_id e, node_id from_node) const {
+    const edge& ed = g_->endpoints(e);
+    DLB_EXPECTS(ed.u == from_node || ed.v == from_node);
+    return ed.u == from_node ? forward(e) : static_cast<T>(-forward(e));
+  }
+
+  /// Records a transfer of `amount` >= 0 from `from_node` over edge e.
+  void record(edge_id e, node_id from_node, T amount) {
+    DLB_EXPECTS(amount >= T{0});
+    const edge& ed = g_->endpoints(e);
+    DLB_EXPECTS(ed.u == from_node || ed.v == from_node);
+    if (ed.u == from_node) {
+      flow_[static_cast<size_t>(e)] += amount;
+    } else {
+      flow_[static_cast<size_t>(e)] -= amount;
+    }
+  }
+
+  [[nodiscard]] const graph& topology() const { return *g_; }
+
+ private:
+  const graph* g_;
+  std::vector<T> flow_;
+};
+
+/// Integer ledger for discrete processes (f^D).
+using discrete_flow_ledger = basic_flow_ledger<weight_t>;
+
+/// Real ledger for continuous processes (f^A).
+using continuous_flow_ledger = basic_flow_ledger<real_t>;
+
+}  // namespace dlb

@@ -1,0 +1,236 @@
+#include "dlb/core/linear_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+
+namespace dlb {
+
+// ---- periodic_matching_schedule --------------------------------------------
+
+periodic_matching_schedule::periodic_matching_schedule(
+    const graph& g, const speed_vector& s, std::vector<matching> matchings)
+    : num_edges_(g.num_edges()), matchings_(std::move(matchings)) {
+  validate_speeds(g, s);
+  DLB_EXPECTS(!matchings_.empty());
+  for (const matching& m : matchings_) DLB_EXPECTS(is_matching(g, m));
+  edge_alpha_.assign(static_cast<size_t>(num_edges_), 0.0);
+  for (edge_id e = 0; e < num_edges_; ++e) {
+    const edge& ed = g.endpoints(e);
+    edge_alpha_[static_cast<size_t>(e)] =
+        matching_alpha(s[static_cast<size_t>(ed.u)],
+                       s[static_cast<size_t>(ed.v)]);
+  }
+}
+
+void periodic_matching_schedule::alphas(round_t t,
+                                        std::vector<real_t>& out) const {
+  out.assign(static_cast<size_t>(num_edges_), 0.0);
+  const matching& m =
+      matchings_[static_cast<size_t>(t) % matchings_.size()];
+  for (const edge_id e : m) {
+    out[static_cast<size_t>(e)] = edge_alpha_[static_cast<size_t>(e)];
+  }
+}
+
+std::unique_ptr<alpha_schedule> periodic_matching_schedule::clone() const {
+  return std::unique_ptr<alpha_schedule>(
+      new periodic_matching_schedule(*this));
+}
+
+// ---- random_matching_schedule -----------------------------------------------
+
+random_matching_schedule::random_matching_schedule(const graph& g,
+                                                   const speed_vector& s,
+                                                   std::uint64_t seed)
+    : g_(&g), seed_(seed) {
+  validate_speeds(g, s);
+  edge_alpha_.assign(static_cast<size_t>(g.num_edges()), 0.0);
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    edge_alpha_[static_cast<size_t>(e)] =
+        matching_alpha(s[static_cast<size_t>(ed.u)],
+                       s[static_cast<size_t>(ed.v)]);
+  }
+}
+
+void random_matching_schedule::alphas(round_t t,
+                                      std::vector<real_t>& out) const {
+  out.assign(static_cast<size_t>(g_->num_edges()), 0.0);
+  const matching m = random_maximal_matching(
+      *g_, seed_, static_cast<std::uint64_t>(t));
+  for (const edge_id e : m) {
+    out[static_cast<size_t>(e)] = edge_alpha_[static_cast<size_t>(e)];
+  }
+}
+
+std::unique_ptr<alpha_schedule> random_matching_schedule::clone() const {
+  return std::unique_ptr<alpha_schedule>(new random_matching_schedule(*this));
+}
+
+// ---- linear_process ---------------------------------------------------------
+
+linear_process::linear_process(std::shared_ptr<const graph> g, speed_vector s,
+                               std::unique_ptr<alpha_schedule> schedule,
+                               real_t beta, std::string process_name)
+    : g_(std::move(g)),
+      s_(std::move(s)),
+      schedule_(std::move(schedule)),
+      beta_(beta),
+      name_(std::move(process_name)) {
+  DLB_EXPECTS(g_ != nullptr);
+  DLB_EXPECTS(schedule_ != nullptr);
+  validate_speeds(*g_, s_);
+  DLB_EXPECTS(beta_ > 0 && beta_ <= 2.0);
+}
+
+void linear_process::reset(std::vector<real_t> x0) {
+  DLB_EXPECTS(static_cast<node_id>(x0.size()) == g_->num_nodes());
+  for (const real_t xi : x0) DLB_EXPECTS(xi >= 0);
+  x_ = std::move(x0);
+  y_prev_.assign(static_cast<size_t>(g_->num_edges()), directed_flow{});
+  cum_flow_.assign(static_cast<size_t>(g_->num_edges()), 0.0);
+  t_ = 0;
+  started_ = true;
+  negative_load_ = false;
+}
+
+void linear_process::step() {
+  DLB_EXPECTS(started_);
+  const graph& g = *g_;
+  schedule_->alphas(t_, alpha_buf_);
+  DLB_ASSERT(static_cast<edge_id>(alpha_buf_.size()) == g.num_edges());
+
+  // Compute this round's flows, eqs. (10)-(11). In round 0 the recurrence has
+  // no history term: y(0) = P(0)·x(0).
+  std::vector<directed_flow> y(static_cast<size_t>(g.num_edges()));
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    const real_t a = alpha_buf_[static_cast<size_t>(e)];
+    const real_t rate_u = a / static_cast<real_t>(s_[static_cast<size_t>(ed.u)]);
+    const real_t rate_v = a / static_cast<real_t>(s_[static_cast<size_t>(ed.v)]);
+    if (t_ == 0) {
+      y[static_cast<size_t>(e)].forward = rate_u * x_[static_cast<size_t>(ed.u)];
+      y[static_cast<size_t>(e)].backward = rate_v * x_[static_cast<size_t>(ed.v)];
+    } else {
+      const directed_flow& prev = y_prev_[static_cast<size_t>(e)];
+      y[static_cast<size_t>(e)].forward =
+          (beta_ - 1.0) * prev.forward + beta_ * rate_u * x_[static_cast<size_t>(ed.u)];
+      y[static_cast<size_t>(e)].backward =
+          (beta_ - 1.0) * prev.backward + beta_ * rate_v * x_[static_cast<size_t>(ed.v)];
+    }
+  }
+
+  // Negative-load detection (Definition 1): a node's outgoing demand must not
+  // exceed its current load. (Only SOS can violate this; paper §3.)
+  std::vector<real_t> outgoing(static_cast<size_t>(g.num_nodes()), 0.0);
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    outgoing[static_cast<size_t>(ed.u)] += y[static_cast<size_t>(e)].forward;
+    outgoing[static_cast<size_t>(ed.v)] += y[static_cast<size_t>(e)].backward;
+  }
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    if (x_[static_cast<size_t>(i)] - outgoing[static_cast<size_t>(i)] <
+        -flow_epsilon) {
+      negative_load_ = true;
+    }
+  }
+
+  // Apply transfers and update the cumulative flow ledger.
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    const real_t net = y[static_cast<size_t>(e)].forward -
+                       y[static_cast<size_t>(e)].backward;
+    x_[static_cast<size_t>(ed.u)] -= net;
+    x_[static_cast<size_t>(ed.v)] += net;
+    cum_flow_[static_cast<size_t>(e)] += net;
+  }
+
+  y_prev_ = std::move(y);
+  ++t_;
+}
+
+real_t linear_process::cumulative_flow(edge_id e) const {
+  DLB_EXPECTS(e >= 0 && e < g_->num_edges());
+  return cum_flow_[static_cast<size_t>(e)];
+}
+
+std::unique_ptr<continuous_process> linear_process::clone_fresh() const {
+  return std::make_unique<linear_process>(g_, s_, schedule_->clone(), beta_,
+                                          name_);
+}
+
+void linear_process::inject_load(node_id i, real_t amount) {
+  DLB_EXPECTS(started_);
+  DLB_EXPECTS(i >= 0 && i < g_->num_nodes());
+  DLB_EXPECTS(amount >= 0);
+  x_[static_cast<size_t>(i)] += amount;
+}
+
+// ---- factories --------------------------------------------------------------
+
+std::unique_ptr<linear_process> make_fos(std::shared_ptr<const graph> g,
+                                         speed_vector s,
+                                         std::vector<real_t> alpha) {
+  DLB_EXPECTS(g != nullptr);
+  validate_alphas(*g, s, alpha);
+  return std::make_unique<linear_process>(
+      std::move(g), std::move(s),
+      std::make_unique<diffusion_alpha_schedule>(std::move(alpha)),
+      /*beta=*/1.0, "FOS");
+}
+
+std::unique_ptr<linear_process> make_sos(std::shared_ptr<const graph> g,
+                                         speed_vector s,
+                                         std::vector<real_t> alpha,
+                                         real_t beta) {
+  DLB_EXPECTS(g != nullptr);
+  validate_alphas(*g, s, alpha);
+  DLB_EXPECTS(beta > 0 && beta <= 2.0);
+  return std::make_unique<linear_process>(
+      std::move(g), std::move(s),
+      std::make_unique<diffusion_alpha_schedule>(std::move(alpha)), beta,
+      "SOS");
+}
+
+real_t optimal_sos_beta(real_t lambda) {
+  DLB_EXPECTS(lambda >= 0 && lambda < 1.0);
+  return 2.0 / (1.0 + std::sqrt(1.0 - lambda * lambda));
+}
+
+std::unique_ptr<linear_process> make_periodic_matching_process(
+    std::shared_ptr<const graph> g, speed_vector s,
+    std::vector<matching> matchings) {
+  DLB_EXPECTS(g != nullptr);
+  auto sched = std::make_unique<periodic_matching_schedule>(
+      *g, s, std::move(matchings));
+  return std::make_unique<linear_process>(std::move(g), std::move(s),
+                                          std::move(sched), /*beta=*/1.0,
+                                          "dimension-exchange-periodic");
+}
+
+std::unique_ptr<linear_process> make_random_matching_process(
+    std::shared_ptr<const graph> g, speed_vector s, std::uint64_t seed) {
+  DLB_EXPECTS(g != nullptr);
+  auto sched = std::make_unique<random_matching_schedule>(*g, s, seed);
+  return std::make_unique<linear_process>(std::move(g), std::move(s),
+                                          std::move(sched), /*beta=*/1.0,
+                                          "dimension-exchange-random");
+}
+
+std::unique_ptr<linear_process> make_sos_periodic_matching_process(
+    std::shared_ptr<const graph> g, speed_vector s,
+    std::vector<matching> matchings, real_t beta) {
+  DLB_EXPECTS(g != nullptr);
+  DLB_EXPECTS(beta > 0 && beta <= 2.0);
+  auto sched = std::make_unique<periodic_matching_schedule>(
+      *g, s, std::move(matchings));
+  return std::make_unique<linear_process>(std::move(g), std::move(s),
+                                          std::move(sched), beta,
+                                          "sos-dimension-exchange-periodic");
+}
+
+}  // namespace dlb

@@ -1,0 +1,163 @@
+// The general linear continuous process (paper eqs. (10)-(11)) and the three
+// α-schedules that instantiate every process covered by Lemma 1:
+// FOS, SOS, and matching-based dimension exchange.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dlb/core/process.hpp"
+#include "dlb/graph/matching.hpp"
+
+namespace dlb {
+
+/// Constant per-edge α — the diffusion schedule (FOS/SOS).
+class diffusion_alpha_schedule final : public alpha_schedule {
+ public:
+  explicit diffusion_alpha_schedule(std::vector<real_t> alpha)
+      : alpha_(std::move(alpha)) {}
+
+  void alphas(round_t /*t*/, std::vector<real_t>& out) const override {
+    out = alpha_;
+  }
+
+  [[nodiscard]] std::unique_ptr<alpha_schedule> clone() const override {
+    return std::make_unique<diffusion_alpha_schedule>(alpha_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "diffusion"; }
+
+ private:
+  std::vector<real_t> alpha_;
+};
+
+/// Periodic matching schedule: a fixed list of matchings used round-robin,
+/// P(t) = P(t mod period) (paper §2.1, periodic matching model). Active
+/// edges get the makespan-equalizing α = s_i·s_j/(s_i+s_j).
+class periodic_matching_schedule final : public alpha_schedule {
+ public:
+  periodic_matching_schedule(const graph& g, const speed_vector& s,
+                             std::vector<matching> matchings);
+
+  void alphas(round_t t, std::vector<real_t>& out) const override;
+
+  [[nodiscard]] std::unique_ptr<alpha_schedule> clone() const override;
+
+  [[nodiscard]] std::string name() const override {
+    return "periodic-matchings";
+  }
+
+  [[nodiscard]] std::size_t period() const { return matchings_.size(); }
+
+ private:
+  edge_id num_edges_;
+  std::vector<matching> matchings_;
+  std::vector<real_t> edge_alpha_;  // matching α per edge, precomputed
+};
+
+/// Random matching schedule: a fresh random maximal matching every round,
+/// derived deterministically from (seed, t) so coupled instances coincide.
+class random_matching_schedule final : public alpha_schedule {
+ public:
+  random_matching_schedule(const graph& g, const speed_vector& s,
+                           std::uint64_t seed);
+
+  void alphas(round_t t, std::vector<real_t>& out) const override;
+
+  [[nodiscard]] std::unique_ptr<alpha_schedule> clone() const override;
+
+  [[nodiscard]] std::string name() const override {
+    return "random-matchings";
+  }
+
+ private:
+  const graph* g_;  // non-owning; the linear_process keeps the graph alive
+  std::uint64_t seed_;
+  std::vector<real_t> edge_alpha_;
+};
+
+/// The general linear process: additive and terminating by construction
+/// (Lemma 1). β = 1 gives first-order behaviour; β in (1, 2] gives SOS.
+class linear_process final : public continuous_process {
+ public:
+  linear_process(std::shared_ptr<const graph> g, speed_vector s,
+                 std::unique_ptr<alpha_schedule> schedule, real_t beta,
+                 std::string process_name);
+
+  void reset(std::vector<real_t> x0) override;
+  void step() override;
+
+  [[nodiscard]] const graph& topology() const override { return *g_; }
+  [[nodiscard]] const speed_vector& speeds() const override { return s_; }
+  [[nodiscard]] const std::vector<real_t>& loads() const override {
+    return x_;
+  }
+  [[nodiscard]] round_t rounds_executed() const override { return t_; }
+  [[nodiscard]] real_t cumulative_flow(edge_id e) const override;
+  [[nodiscard]] const std::vector<directed_flow>& last_flows() const override {
+    return y_prev_;
+  }
+  [[nodiscard]] bool negative_load_detected() const override {
+    return negative_load_;
+  }
+  [[nodiscard]] std::unique_ptr<continuous_process> clone_fresh()
+      const override;
+  void inject_load(node_id i, real_t amount) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] real_t beta() const { return beta_; }
+  [[nodiscard]] const alpha_schedule& schedule() const { return *schedule_; }
+
+ private:
+  std::shared_ptr<const graph> g_;
+  speed_vector s_;
+  std::unique_ptr<alpha_schedule> schedule_;
+  real_t beta_;
+  std::string name_;
+
+  bool started_ = false;
+  bool negative_load_ = false;
+  round_t t_ = 0;
+  std::vector<real_t> x_;
+  std::vector<directed_flow> y_prev_;  // y(t-1), the last executed round
+  std::vector<real_t> cum_flow_;       // f^A per edge, oriented u→v
+  std::vector<real_t> alpha_buf_;
+};
+
+// ---- Factory helpers (the concrete processes of the paper) ----------------
+
+/// First order diffusion (FOS, paper eqs. (1)-(2)).
+[[nodiscard]] std::unique_ptr<linear_process> make_fos(
+    std::shared_ptr<const graph> g, speed_vector s,
+    std::vector<real_t> alpha);
+
+/// Second order diffusion (SOS, paper eq. (4)); β in (0, 2].
+[[nodiscard]] std::unique_ptr<linear_process> make_sos(
+    std::shared_ptr<const graph> g, speed_vector s, std::vector<real_t> alpha,
+    real_t beta);
+
+/// The β minimizing SOS balancing time: 2/(1 + sqrt(1-λ²)) (paper §2.1).
+[[nodiscard]] real_t optimal_sos_beta(real_t lambda);
+
+/// Dimension exchange over a fixed periodic matching schedule.
+[[nodiscard]] std::unique_ptr<linear_process> make_periodic_matching_process(
+    std::shared_ptr<const graph> g, speed_vector s,
+    std::vector<matching> matchings);
+
+/// Dimension exchange over fresh random maximal matchings (seeded).
+[[nodiscard]] std::unique_ptr<linear_process> make_random_matching_process(
+    std::shared_ptr<const graph> g, speed_vector s, std::uint64_t seed);
+
+/// Second-order dimension exchange: the general recurrence (eqs. (10)-(11))
+/// with β in (0, 2] over a periodic matching schedule. Lemma 1's proof
+/// covers arbitrary matrix sequences with β, so this hybrid is additive and
+/// terminating too — the conversion framework applies unchanged.
+[[nodiscard]] std::unique_ptr<linear_process>
+make_sos_periodic_matching_process(std::shared_ptr<const graph> g,
+                                   speed_vector s,
+                                   std::vector<matching> matchings,
+                                   real_t beta);
+
+}  // namespace dlb

@@ -1,0 +1,94 @@
+// Balance metrics (paper §1, §3).
+//
+//  * makespan of node i: x_i / s_i
+//  * max-min discrepancy: max_i x_i/s_i - min_i x_i/s_i
+//  * max-avg discrepancy: max_i x_i/s_i - W/S  (W total load, S total speed)
+//  * potential Φ(t) = Σ_i (x_i - s_i·W/S)²    (paper eq. (6), speed form)
+//
+// All metrics accept integer (discrete) or real (continuous) load vectors.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/common/types.hpp"
+#include "dlb/graph/spectral.hpp"  // speed_vector
+
+namespace dlb {
+
+template <typename T>
+[[nodiscard]] real_t makespan(const std::vector<T>& x, const speed_vector& s) {
+  DLB_EXPECTS(!x.empty() && x.size() == s.size());
+  real_t best = -1e300;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    best = std::max(best, static_cast<real_t>(x[i]) /
+                              static_cast<real_t>(s[i]));
+  }
+  return best;
+}
+
+template <typename T>
+[[nodiscard]] real_t min_makespan(const std::vector<T>& x,
+                                  const speed_vector& s) {
+  DLB_EXPECTS(!x.empty() && x.size() == s.size());
+  real_t best = 1e300;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    best = std::min(best, static_cast<real_t>(x[i]) /
+                              static_cast<real_t>(s[i]));
+  }
+  return best;
+}
+
+template <typename T>
+[[nodiscard]] T total_load(const std::vector<T>& x) {
+  T w{0};
+  for (const T& xi : x) w += xi;
+  return w;
+}
+
+/// Average makespan W/S of the perfectly balanced allocation.
+template <typename T>
+[[nodiscard]] real_t average_makespan(const std::vector<T>& x,
+                                      const speed_vector& s) {
+  DLB_EXPECTS(!x.empty() && x.size() == s.size());
+  weight_t total_speed = 0;
+  for (const weight_t si : s) total_speed += si;
+  return static_cast<real_t>(total_load(x)) /
+         static_cast<real_t>(total_speed);
+}
+
+template <typename T>
+[[nodiscard]] real_t max_min_discrepancy(const std::vector<T>& x,
+                                         const speed_vector& s) {
+  return makespan(x, s) - min_makespan(x, s);
+}
+
+template <typename T>
+[[nodiscard]] real_t max_avg_discrepancy(const std::vector<T>& x,
+                                         const speed_vector& s) {
+  return makespan(x, s) - average_makespan(x, s);
+}
+
+/// Potential function Φ (paper eq. (6), generalized to speeds as in §2.2).
+template <typename T>
+[[nodiscard]] real_t potential(const std::vector<T>& x,
+                               const speed_vector& s) {
+  const real_t avg = average_makespan(x, s);
+  real_t phi = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const real_t dev = static_cast<real_t>(x[i]) -
+                       static_cast<real_t>(s[i]) * avg;
+    phi += dev * dev;
+  }
+  return phi;
+}
+
+/// Initial discrepancy K used in balancing-time bounds T = O(log(Kn)/(1-λ)).
+template <typename T>
+[[nodiscard]] real_t initial_discrepancy(const std::vector<T>& x,
+                                         const speed_vector& s) {
+  return max_min_discrepancy(x, s);
+}
+
+}  // namespace dlb

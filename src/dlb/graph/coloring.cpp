@@ -1,0 +1,216 @@
+#include "dlb/graph/coloring.hpp"
+
+#include <algorithm>
+
+namespace dlb {
+
+bool is_proper_edge_coloring(const graph& g, const edge_coloring& c) {
+  if (static_cast<edge_id>(c.color.size()) != g.num_edges()) return false;
+  for (const int col : c.color) {
+    if (col < 0 || col >= c.num_colors) return false;
+  }
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    std::vector<char> seen(static_cast<size_t>(c.num_colors), 0);
+    for (const incidence& inc : g.neighbors(i)) {
+      const int col = c.color[static_cast<size_t>(inc.edge)];
+      if (seen[static_cast<size_t>(col)]) return false;
+      seen[static_cast<size_t>(col)] = 1;
+    }
+  }
+  return true;
+}
+
+edge_coloring greedy_edge_coloring(const graph& g) {
+  // First-fit: each edge sees at most 2(Δ-1) occupied colours, so colour
+  // 2Δ-1 is always available.
+  const int cap = std::max(1, 2 * g.max_degree() - 1);
+  edge_coloring out;
+  out.color.assign(static_cast<size_t>(g.num_edges()), -1);
+  std::vector<std::vector<char>> used(
+      static_cast<size_t>(g.num_nodes()),
+      std::vector<char>(static_cast<size_t>(cap), 0));
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    auto& uu = used[static_cast<size_t>(ed.u)];
+    auto& uv = used[static_cast<size_t>(ed.v)];
+    int col = 0;
+    while (uu[static_cast<size_t>(col)] || uv[static_cast<size_t>(col)]) ++col;
+    DLB_ASSERT(col < cap);
+    out.color[static_cast<size_t>(e)] = col;
+    uu[static_cast<size_t>(col)] = 1;
+    uv[static_cast<size_t>(col)] = 1;
+    out.num_colors = std::max(out.num_colors, col + 1);
+  }
+  DLB_ENSURES(is_proper_edge_coloring(g, out));
+  return out;
+}
+
+namespace {
+
+/// Working state for the Misra–Gries algorithm.
+class mg_state {
+ public:
+  explicit mg_state(const graph& g)
+      : g_(g),
+        max_colors_(g.max_degree() + 1),
+        color_(static_cast<size_t>(g.num_edges()), -1),
+        at_(static_cast<size_t>(g.num_nodes()),
+            std::vector<edge_id>(static_cast<size_t>(max_colors_),
+                                 invalid_edge)) {}
+
+  [[nodiscard]] bool is_free(node_id x, int c) const {
+    return at_[static_cast<size_t>(x)][static_cast<size_t>(c)] == invalid_edge;
+  }
+
+  [[nodiscard]] int free_color(node_id x) const {
+    for (int c = 0; c < max_colors_; ++c) {
+      if (is_free(x, c)) return c;
+    }
+    throw contract_violation("misra_gries: no free colour (internal bug)");
+  }
+
+  [[nodiscard]] int color_of(edge_id e) const {
+    return color_[static_cast<size_t>(e)];
+  }
+
+  [[nodiscard]] edge_id edge_at(node_id x, int c) const {
+    return at_[static_cast<size_t>(x)][static_cast<size_t>(c)];
+  }
+
+  void uncolor(edge_id e) {
+    const int old = color_[static_cast<size_t>(e)];
+    if (old < 0) return;
+    const edge& ed = g_.endpoints(e);
+    at_[static_cast<size_t>(ed.u)][static_cast<size_t>(old)] = invalid_edge;
+    at_[static_cast<size_t>(ed.v)][static_cast<size_t>(old)] = invalid_edge;
+    color_[static_cast<size_t>(e)] = -1;
+  }
+
+  void assign(edge_id e, int c) {
+    DLB_ASSERT(color_[static_cast<size_t>(e)] < 0);
+    const edge& ed = g_.endpoints(e);
+    DLB_ASSERT(is_free(ed.u, c) && is_free(ed.v, c));
+    at_[static_cast<size_t>(ed.u)][static_cast<size_t>(c)] = e;
+    at_[static_cast<size_t>(ed.v)][static_cast<size_t>(c)] = e;
+    color_[static_cast<size_t>(e)] = c;
+  }
+
+  [[nodiscard]] std::vector<int> take_colors() && { return std::move(color_); }
+  [[nodiscard]] int max_colors() const { return max_colors_; }
+
+ private:
+  const graph& g_;
+  int max_colors_;
+  std::vector<int> color_;
+  std::vector<std::vector<edge_id>> at_;  // at_[v][c]: edge coloured c at v
+};
+
+}  // namespace
+
+edge_coloring misra_gries_edge_coloring(const graph& g) {
+  mg_state st(g);
+
+  std::vector<char> in_fan(static_cast<size_t>(g.num_nodes()), 0);
+
+  for (edge_id e0 = 0; e0 < g.num_edges(); ++e0) {
+    const node_id u = g.endpoints(e0).u;
+    const node_id v = g.endpoints(e0).v;
+
+    // Build a maximal fan of u starting at v: each next fan vertex w has a
+    // coloured edge (u,w) whose colour is free on the previous fan vertex.
+    std::vector<node_id> fan{v};
+    std::vector<edge_id> fan_edge{e0};
+    in_fan[static_cast<size_t>(v)] = 1;
+    bool extended = true;
+    while (extended) {
+      extended = false;
+      for (const incidence& inc : g.neighbors(u)) {
+        if (in_fan[static_cast<size_t>(inc.neighbor)]) continue;
+        const int col = st.color_of(inc.edge);
+        if (col >= 0 && st.is_free(fan.back(), col)) {
+          fan.push_back(inc.neighbor);
+          fan_edge.push_back(inc.edge);
+          in_fan[static_cast<size_t>(inc.neighbor)] = 1;
+          extended = true;
+          break;
+        }
+      }
+    }
+
+    const int c = st.free_color(u);
+    const int d = st.free_color(fan.back());
+
+    if (c != d) {
+      // Invert the cd-path through u: the maximal path starting at u whose
+      // edges alternate colours d, c, d, ... Swapping c and d along it makes
+      // d free on u while preserving properness.
+      std::vector<edge_id> path;
+      node_id x = u;
+      int want = d;
+      while (st.edge_at(x, want) != invalid_edge) {
+        const edge_id pe = st.edge_at(x, want);
+        path.push_back(pe);
+        x = g.other_endpoint(pe, x);
+        want = (want == d) ? c : d;
+      }
+      // Uncolour first, then reassign flipped colours, so the lookup tables
+      // never transiently hold two edges of one colour at a vertex.
+      std::vector<int> flipped(path.size());
+      for (std::size_t k = 0; k < path.size(); ++k) {
+        flipped[k] = (st.color_of(path[k]) == d) ? c : d;
+        // (record before uncolouring below)
+      }
+      for (const edge_id pe : path) st.uncolor(pe);
+      for (std::size_t k = 0; k < path.size(); ++k) {
+        st.assign(path[k], flipped[k]);
+      }
+    }
+    DLB_ASSERT(st.is_free(u, d));
+
+    // Find w = fan[i] such that fan[0..i] is still a fan (post-inversion) and
+    // d is free on w; rotate that prefix and colour (u,w) with d.
+    std::size_t w = fan.size();  // sentinel: not found
+    for (std::size_t i = 0; i < fan.size(); ++i) {
+      // Prefix fan validity: colour of (u, fan[i]) must be free on fan[i-1].
+      if (i > 0) {
+        const int ci = st.color_of(fan_edge[i]);
+        if (ci < 0 || !st.is_free(fan[i - 1], ci)) break;
+      }
+      if (st.is_free(fan[i], d)) {
+        w = i;
+        break;
+      }
+    }
+    DLB_ASSERT(w < fan.size());
+
+    // Rotate: shift each fan edge's colour to its predecessor, give d to w.
+    std::vector<int> cols(w + 1);
+    for (std::size_t j = 0; j <= w; ++j) cols[j] = st.color_of(fan_edge[j]);
+    for (std::size_t j = 0; j <= w; ++j) st.uncolor(fan_edge[j]);
+    for (std::size_t j = 0; j < w; ++j) st.assign(fan_edge[j], cols[j + 1]);
+    st.assign(fan_edge[w], d);
+
+    for (const node_id f : fan) in_fan[static_cast<size_t>(f)] = 0;
+  }
+
+  edge_coloring out;
+  out.num_colors = st.max_colors();
+  out.color = std::move(st).take_colors();
+  // Compact: drop trailing unused colours.
+  int used_max = 0;
+  for (const int col : out.color) used_max = std::max(used_max, col + 1);
+  out.num_colors = used_max;
+  DLB_ENSURES(is_proper_edge_coloring(g, out));
+  return out;
+}
+
+std::vector<matching> to_matchings(const graph& g, const edge_coloring& c) {
+  DLB_EXPECTS(is_proper_edge_coloring(g, c));
+  std::vector<matching> out(static_cast<size_t>(c.num_colors));
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    out[static_cast<size_t>(c.color[static_cast<size_t>(e)])].push_back(e);
+  }
+  return out;
+}
+
+}  // namespace dlb

@@ -1,0 +1,264 @@
+#include "dlb/graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dlb/common/rng.hpp"
+
+namespace dlb::generators {
+
+namespace {
+
+/// Mixed-radix index helpers for grid/torus construction.
+node_id linear_index(const std::vector<node_id>& coord,
+                     const std::vector<node_id>& sides) {
+  node_id idx = 0;
+  for (std::size_t k = 0; k < sides.size(); ++k) {
+    idx = idx * sides[k] + coord[k];
+  }
+  return idx;
+}
+
+}  // namespace
+
+graph path(node_id n) {
+  DLB_EXPECTS(n >= 2);
+  std::vector<edge> edges;
+  edges.reserve(static_cast<size_t>(n) - 1);
+  for (node_id i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return graph(n, std::move(edges));
+}
+
+graph cycle(node_id n) {
+  DLB_EXPECTS(n >= 3);
+  std::vector<edge> edges;
+  edges.reserve(static_cast<size_t>(n));
+  for (node_id i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  edges.push_back({0, n - 1});
+  return graph(n, std::move(edges));
+}
+
+graph complete(node_id n) {
+  DLB_EXPECTS(n >= 2);
+  std::vector<edge> edges;
+  edges.reserve(static_cast<size_t>(n) * (static_cast<size_t>(n) - 1) / 2);
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return graph(n, std::move(edges));
+}
+
+graph star(node_id n) {
+  DLB_EXPECTS(n >= 2);
+  std::vector<edge> edges;
+  edges.reserve(static_cast<size_t>(n) - 1);
+  for (node_id leaf = 1; leaf < n; ++leaf) edges.push_back({0, leaf});
+  return graph(n, std::move(edges));
+}
+
+graph hypercube(int dim) {
+  DLB_EXPECTS(dim >= 1 && dim < 30);
+  const node_id n = static_cast<node_id>(1) << dim;
+  std::vector<edge> edges;
+  edges.reserve(static_cast<size_t>(n) * static_cast<size_t>(dim) / 2);
+  for (node_id u = 0; u < n; ++u) {
+    for (int b = 0; b < dim; ++b) {
+      const node_id v = u ^ (static_cast<node_id>(1) << b);
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return graph(n, std::move(edges));
+}
+
+graph grid(const std::vector<node_id>& sides, bool wrap) {
+  DLB_EXPECTS(!sides.empty());
+  node_id n = 1;
+  for (const node_id s : sides) {
+    DLB_EXPECTS(s >= 2);
+    DLB_EXPECTS(!wrap || s >= 3);  // wrapped side of 2 => parallel edge
+    DLB_EXPECTS(n <= (1 << 24) / s);
+    n *= s;
+  }
+  std::vector<edge> edges;
+  std::vector<node_id> coord(sides.size(), 0);
+  for (node_id idx = 0; idx < n; ++idx) {
+    for (std::size_t k = 0; k < sides.size(); ++k) {
+      std::vector<node_id> next = coord;
+      if (coord[k] + 1 < sides[k]) {
+        next[k] = coord[k] + 1;
+        edges.push_back({idx, linear_index(next, sides)});
+      } else if (wrap) {
+        next[k] = 0;
+        const node_id w = linear_index(next, sides);
+        edges.push_back({std::min(idx, w), std::max(idx, w)});
+      }
+    }
+    // Advance mixed-radix counter (last coordinate fastest, matching
+    // linear_index).
+    for (std::size_t k = sides.size(); k-- > 0;) {
+      if (++coord[k] < sides[k]) break;
+      coord[k] = 0;
+    }
+  }
+  // Wrap edges with min/max normalization can duplicate nothing because each
+  // wrap edge is emitted once (only from the high end of the axis).
+  return graph(n, std::move(edges));
+}
+
+graph torus_2d(node_id side) { return grid({side, side}, /*wrap=*/true); }
+
+graph torus(int r, node_id side) {
+  DLB_EXPECTS(r >= 1);
+  return grid(std::vector<node_id>(static_cast<size_t>(r), side),
+              /*wrap=*/true);
+}
+
+graph random_regular(node_id n, node_id d, std::uint64_t seed) {
+  DLB_EXPECTS(n >= 2 && d >= 1 && d < n);
+  DLB_EXPECTS((static_cast<std::int64_t>(n) * d) % 2 == 0);
+  rng_t rng = make_rng(seed, /*stream=*/0x5252u);
+  // Configuration model with edge-swap repair: pair the n*d stubs at random,
+  // then repeatedly repair self-loops and parallel edges by swapping an
+  // endpoint with a random other edge. Plain rejection would need
+  // exp(Θ(d²)) attempts for larger d; repair converges in a few passes.
+  const std::size_t stubs = static_cast<size_t>(n) * static_cast<size_t>(d);
+  std::vector<node_id> stub_owner(stubs);
+  for (std::size_t s = 0; s < stubs; ++s) {
+    stub_owner[s] = static_cast<node_id>(s / static_cast<size_t>(d));
+  }
+
+  const auto edge_key = [n](node_id a, node_id b) {
+    if (a > b) std::swap(a, b);
+    return static_cast<std::int64_t>(a) * n + b;
+  };
+
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::shuffle(stub_owner.begin(), stub_owner.end(), rng);
+    std::vector<std::pair<node_id, node_id>> pairing(stubs / 2);
+    for (std::size_t s = 0; s < stubs / 2; ++s) {
+      pairing[s] = {stub_owner[2 * s], stub_owner[2 * s + 1]};
+    }
+
+    bool simple = false;
+    for (int pass = 0; pass < 400 && !simple; ++pass) {
+      // Index current multiplicities and collect offending edges.
+      std::vector<std::int64_t> keys;
+      keys.reserve(pairing.size());
+      for (const auto& [a, b] : pairing) keys.push_back(edge_key(a, b));
+      std::sort(keys.begin(), keys.end());
+      std::vector<std::size_t> bad;
+      for (std::size_t i = 0; i < pairing.size(); ++i) {
+        const auto& [a, b] = pairing[i];
+        if (a == b) {
+          bad.push_back(i);
+          continue;
+        }
+        const auto k = edge_key(a, b);
+        const auto range = std::equal_range(keys.begin(), keys.end(), k);
+        if (range.second - range.first > 1) bad.push_back(i);
+      }
+      if (bad.empty()) {
+        simple = true;
+        break;
+      }
+      // Swap each offender's second endpoint with a random partner edge.
+      for (const std::size_t i : bad) {
+        const std::size_t j = static_cast<std::size_t>(uniform_int<std::int64_t>(
+            rng, 0, static_cast<std::int64_t>(pairing.size()) - 1));
+        if (i == j) continue;
+        std::swap(pairing[i].second, pairing[j].second);
+      }
+    }
+    if (!simple) continue;
+
+    std::vector<edge> edges;
+    edges.reserve(pairing.size());
+    for (const auto& [a, b] : pairing) {
+      edges.push_back({std::min(a, b), std::max(a, b)});
+    }
+    graph g(n, std::move(edges));
+    if (g.is_connected()) return g;
+  }
+  throw contract_violation(
+      "random_regular: failed to sample a simple connected graph");
+}
+
+graph erdos_renyi_connected(node_id n, double p, std::uint64_t seed) {
+  DLB_EXPECTS(n >= 2 && p > 0.0 && p <= 1.0);
+  rng_t rng = make_rng(seed, /*stream=*/0x45u);
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::vector<edge> edges;
+    for (node_id u = 0; u < n; ++u) {
+      for (node_id v = u + 1; v < n; ++v) {
+        if (uniform_real(rng) < p) edges.push_back({u, v});
+      }
+    }
+    if (edges.empty()) continue;
+    graph g(n, std::move(edges));
+    if (g.is_connected()) return g;
+  }
+  throw contract_violation(
+      "erdos_renyi_connected: failed to sample a connected graph; p too small");
+}
+
+graph ring_of_cliques(node_id num_cliques, node_id clique_size) {
+  DLB_EXPECTS(num_cliques >= 3 && clique_size >= 3);
+  const node_id n = num_cliques * clique_size;
+  std::vector<edge> edges;
+  for (node_id c = 0; c < num_cliques; ++c) {
+    const node_id base = c * clique_size;
+    for (node_id a = 0; a < clique_size; ++a) {
+      for (node_id b = a + 1; b < clique_size; ++b) {
+        edges.push_back({base + a, base + b});
+      }
+    }
+    // Bridge: last node of clique c to first node of clique c+1 (mod ring).
+    const node_id from = base + clique_size - 1;
+    const node_id to = ((c + 1) % num_cliques) * clique_size;
+    edges.push_back({std::min(from, to), std::max(from, to)});
+  }
+  return graph(n, std::move(edges));
+}
+
+graph lollipop(node_id clique_size, node_id path_len) {
+  DLB_EXPECTS(clique_size >= 3 && path_len >= 1);
+  const node_id n = clique_size + path_len;
+  std::vector<edge> edges;
+  for (node_id a = 0; a < clique_size; ++a) {
+    for (node_id b = a + 1; b < clique_size; ++b) edges.push_back({a, b});
+  }
+  // Path hangs off node clique_size-1.
+  edges.push_back({clique_size - 1, clique_size});
+  for (node_id i = clique_size; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return graph(n, std::move(edges));
+}
+
+graph barbell(node_id clique_size, node_id path_len) {
+  DLB_EXPECTS(clique_size >= 3 && path_len >= 0);
+  const node_id n = 2 * clique_size + path_len;
+  std::vector<edge> edges;
+  for (node_id a = 0; a < clique_size; ++a) {
+    for (node_id b = a + 1; b < clique_size; ++b) {
+      edges.push_back({a, b});                                // left clique
+      edges.push_back({clique_size + path_len + a,
+                       clique_size + path_len + b});          // right clique
+    }
+  }
+  node_id prev = clique_size - 1;  // last node of left clique
+  for (node_id k = 0; k < path_len; ++k) {
+    edges.push_back({prev, clique_size + k});
+    prev = clique_size + k;
+  }
+  edges.push_back({prev, clique_size + path_len});  // attach right clique
+  return graph(n, std::move(edges));
+}
+
+graph complete_binary_tree(int levels) {
+  DLB_EXPECTS(levels >= 1 && levels < 25);
+  const node_id n = (static_cast<node_id>(1) << levels) - 1;
+  std::vector<edge> edges;
+  for (node_id i = 1; i < n; ++i) edges.push_back({(i - 1) / 2, i});
+  return graph(n, std::move(edges));
+}
+
+}  // namespace dlb::generators

@@ -1,0 +1,66 @@
+// Graph families used throughout the paper's comparison tables:
+// hypercubes, r-dimensional tori, constant-degree expanders (random regular
+// graphs), and "arbitrary" low-expansion graphs (ring of cliques, lollipop),
+// plus small standard families for unit tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dlb/graph/graph.hpp"
+
+namespace dlb::generators {
+
+/// Path 0-1-...-(n-1). n >= 2.
+[[nodiscard]] graph path(node_id n);
+
+/// Cycle on n nodes. n >= 3.
+[[nodiscard]] graph cycle(node_id n);
+
+/// Complete graph K_n. n >= 2.
+[[nodiscard]] graph complete(node_id n);
+
+/// Star with one hub (node 0) and n-1 leaves. n >= 2.
+[[nodiscard]] graph star(node_id n);
+
+/// d-dimensional hypercube on 2^dim nodes; node labels are bit strings and
+/// neighbors differ in exactly one bit. dim >= 1.
+[[nodiscard]] graph hypercube(int dim);
+
+/// r-dimensional grid with side lengths `sides`; `wrap` makes it a torus.
+/// Side lengths must be >= 2; a wrapped side of length 2 would create a
+/// parallel edge, so wrap requires all sides >= 3.
+[[nodiscard]] graph grid(const std::vector<node_id>& sides, bool wrap);
+
+/// 2-dimensional torus with side `side` (side*side nodes, 4-regular).
+[[nodiscard]] graph torus_2d(node_id side);
+
+/// r-dimensional torus with equal sides.
+[[nodiscard]] graph torus(int r, node_id side);
+
+/// Random d-regular graph via the configuration model with rejection of
+/// self-loops/multi-edges; retries until simple and connected. Requires
+/// n*d even, d < n. These are expanders w.h.p. for d >= 3.
+[[nodiscard]] graph random_regular(node_id n, node_id d, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p), resampled until connected.
+[[nodiscard]] graph erdos_renyi_connected(node_id n, double p,
+                                          std::uint64_t seed);
+
+/// `num_cliques` cliques of size `clique_size` arranged in a ring, adjacent
+/// cliques joined by a single bridge edge. A classic low-expansion
+/// ("arbitrary graph") instance: lambda -> 1 as the ring grows.
+[[nodiscard]] graph ring_of_cliques(node_id num_cliques, node_id clique_size);
+
+/// Lollipop: clique of size `clique_size` with a path of `path_len` nodes
+/// attached. Extremely poor expansion.
+[[nodiscard]] graph lollipop(node_id clique_size, node_id path_len);
+
+/// Barbell: two cliques of size `clique_size` joined by a path of
+/// `path_len` intermediate nodes (path_len >= 0).
+[[nodiscard]] graph barbell(node_id clique_size, node_id path_len);
+
+/// Complete binary tree with `levels` levels (2^levels - 1 nodes).
+[[nodiscard]] graph complete_binary_tree(int levels);
+
+}  // namespace dlb::generators

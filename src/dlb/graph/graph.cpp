@@ -1,0 +1,102 @@
+#include "dlb/graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dlb {
+
+graph::graph(node_id n, std::vector<edge> edges) : n_(n) {
+  DLB_EXPECTS(n > 0);
+  for (edge& e : edges) {
+    DLB_EXPECTS(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n);
+    DLB_EXPECTS(e.u != e.v);  // no self-loops
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end(), [](const edge& a, const edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  const bool has_duplicate =
+      std::adjacent_find(edges.begin(), edges.end()) != edges.end();
+  DLB_EXPECTS(!has_duplicate);
+  edges_ = std::move(edges);
+
+  // Build CSR adjacency.
+  std::vector<std::size_t> degree(static_cast<size_t>(n), 0);
+  for (const edge& e : edges_) {
+    ++degree[static_cast<size_t>(e.u)];
+    ++degree[static_cast<size_t>(e.v)];
+  }
+  offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (node_id i = 0; i < n; ++i) {
+    offsets_[static_cast<size_t>(i) + 1] =
+        offsets_[static_cast<size_t>(i)] + degree[static_cast<size_t>(i)];
+    max_degree_ =
+        std::max(max_degree_, static_cast<node_id>(degree[static_cast<size_t>(i)]));
+  }
+  adjacency_.resize(2 * edges_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (edge_id e = 0; e < num_edges(); ++e) {
+    const edge& ed = edges_[static_cast<size_t>(e)];
+    adjacency_[cursor[static_cast<size_t>(ed.u)]++] = {ed.v, e};
+    adjacency_[cursor[static_cast<size_t>(ed.v)]++] = {ed.u, e};
+  }
+}
+
+edge_id graph::find_edge(node_id u, node_id v) const {
+  DLB_EXPECTS(u >= 0 && u < n_ && v >= 0 && v < n_);
+  if (u == v) return invalid_edge;
+  // Scan the smaller adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  for (const incidence& inc : neighbors(u)) {
+    if (inc.neighbor == v) return inc.edge;
+  }
+  return invalid_edge;
+}
+
+bool graph::is_connected() const {
+  if (n_ == 1) return true;
+  std::vector<char> seen(static_cast<size_t>(n_), 0);
+  std::queue<node_id> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  node_id reached = 1;
+  while (!frontier.empty()) {
+    const node_id i = frontier.front();
+    frontier.pop();
+    for (const incidence& inc : neighbors(i)) {
+      if (!seen[static_cast<size_t>(inc.neighbor)]) {
+        seen[static_cast<size_t>(inc.neighbor)] = 1;
+        ++reached;
+        frontier.push(inc.neighbor);
+      }
+    }
+  }
+  return reached == n_;
+}
+
+node_id graph::diameter() const {
+  DLB_EXPECTS(is_connected());
+  node_id best = 0;
+  std::vector<node_id> dist(static_cast<size_t>(n_));
+  for (node_id src = 0; src < n_; ++src) {
+    std::fill(dist.begin(), dist.end(), invalid_node);
+    std::queue<node_id> frontier;
+    frontier.push(src);
+    dist[static_cast<size_t>(src)] = 0;
+    while (!frontier.empty()) {
+      const node_id i = frontier.front();
+      frontier.pop();
+      for (const incidence& inc : neighbors(i)) {
+        auto& dn = dist[static_cast<size_t>(inc.neighbor)];
+        if (dn == invalid_node) {
+          dn = dist[static_cast<size_t>(i)] + 1;
+          best = std::max(best, dn);
+          frontier.push(inc.neighbor);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace dlb

@@ -1,0 +1,113 @@
+// Immutable undirected graph with CSR adjacency and stable edge ids.
+//
+// The network model of the paper (§3): G = (V, E) undirected, V = {0..n-1}.
+// Every component of dlb operates on this type. Edges are normalized so that
+// endpoint u < v; the pair (u, v) also fixes the *positive flow orientation*
+// used by flow ledgers (flow u→v is positive, v→u negative).
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/common/types.hpp"
+
+namespace dlb {
+
+/// One endpoint record in the adjacency structure.
+struct incidence {
+  node_id neighbor;  ///< the node on the other side of the edge
+  edge_id edge;      ///< id of the connecting edge
+};
+
+/// An undirected edge with normalized endpoints (u < v).
+struct edge {
+  node_id u;
+  node_id v;
+};
+
+inline bool operator==(const edge& a, const edge& b) {
+  return a.u == b.u && a.v == b.v;
+}
+
+/// Immutable undirected simple graph.
+///
+/// Invariants: no self-loops, no parallel edges, all endpoints in [0, n).
+/// Construction validates and throws contract_violation on bad input.
+class graph {
+ public:
+  /// Builds a graph on `n` nodes from an edge list. Edges may be given in
+  /// either endpoint order; duplicates (in any order) are rejected.
+  graph(node_id n, std::vector<edge> edges);
+
+  /// Number of nodes.
+  [[nodiscard]] node_id num_nodes() const noexcept { return n_; }
+
+  /// Number of edges.
+  [[nodiscard]] edge_id num_edges() const noexcept {
+    return static_cast<edge_id>(edges_.size());
+  }
+
+  /// Degree of node `i`.
+  [[nodiscard]] node_id degree(node_id i) const {
+    DLB_EXPECTS(i >= 0 && i < n_);
+    return static_cast<node_id>(offsets_[static_cast<size_t>(i) + 1] -
+                                offsets_[static_cast<size_t>(i)]);
+  }
+
+  /// Maximum degree d of the graph (paper notation: d).
+  [[nodiscard]] node_id max_degree() const noexcept { return max_degree_; }
+
+  /// Neighbors of `i` with the connecting edge ids.
+  [[nodiscard]] std::span<const incidence> neighbors(node_id i) const {
+    DLB_EXPECTS(i >= 0 && i < n_);
+    const auto lo = offsets_[static_cast<size_t>(i)];
+    const auto hi = offsets_[static_cast<size_t>(i) + 1];
+    return {adjacency_.data() + lo, adjacency_.data() + hi};
+  }
+
+  /// Endpoints of edge `e`, normalized (u < v).
+  [[nodiscard]] const edge& endpoints(edge_id e) const {
+    DLB_EXPECTS(e >= 0 && e < num_edges());
+    return edges_[static_cast<size_t>(e)];
+  }
+
+  /// All edges, normalized and sorted by (u, v).
+  [[nodiscard]] const std::vector<edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// The endpoint of `e` that is not `i`.
+  [[nodiscard]] node_id other_endpoint(edge_id e, node_id i) const {
+    const edge& ed = endpoints(e);
+    DLB_EXPECTS(ed.u == i || ed.v == i);
+    return ed.u == i ? ed.v : ed.u;
+  }
+
+  /// Edge id connecting `u` and `v`, or invalid_edge if absent. O(deg).
+  [[nodiscard]] edge_id find_edge(node_id u, node_id v) const;
+
+  /// True if `u` and `v` are adjacent.
+  [[nodiscard]] bool has_edge(node_id u, node_id v) const {
+    return find_edge(u, v) != invalid_edge;
+  }
+
+  /// True if the graph is connected (the balancing processes of the paper
+  /// only converge to the global average on connected graphs).
+  [[nodiscard]] bool is_connected() const;
+
+  /// Graph diameter via BFS from every node. O(n·m); intended for tests and
+  /// small experiment graphs.
+  [[nodiscard]] node_id diameter() const;
+
+ private:
+  node_id n_ = 0;
+  node_id max_degree_ = 0;
+  std::vector<edge> edges_;
+  std::vector<std::size_t> offsets_;   // CSR offsets, size n+1
+  std::vector<incidence> adjacency_;   // CSR payload, size 2m
+};
+
+}  // namespace dlb

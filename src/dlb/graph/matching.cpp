@@ -1,0 +1,45 @@
+#include "dlb/graph/matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dlb {
+
+bool is_matching(const graph& g, const matching& m) {
+  std::vector<char> used(static_cast<size_t>(g.num_nodes()), 0);
+  for (const edge_id e : m) {
+    if (e < 0 || e >= g.num_edges()) return false;
+    const edge& ed = g.endpoints(e);
+    if (used[static_cast<size_t>(ed.u)] || used[static_cast<size_t>(ed.v)]) {
+      return false;
+    }
+    used[static_cast<size_t>(ed.u)] = 1;
+    used[static_cast<size_t>(ed.v)] = 1;
+  }
+  return true;
+}
+
+matching random_maximal_matching(const graph& g, rng_t& rng) {
+  std::vector<edge_id> order(static_cast<size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<char> used(static_cast<size_t>(g.num_nodes()), 0);
+  matching m;
+  for (const edge_id e : order) {
+    const edge& ed = g.endpoints(e);
+    if (!used[static_cast<size_t>(ed.u)] && !used[static_cast<size_t>(ed.v)]) {
+      used[static_cast<size_t>(ed.u)] = 1;
+      used[static_cast<size_t>(ed.v)] = 1;
+      m.push_back(e);
+    }
+  }
+  return m;
+}
+
+matching random_maximal_matching(const graph& g, std::uint64_t seed,
+                                 std::uint64_t round) {
+  rng_t rng = make_rng(seed, round);
+  return random_maximal_matching(g, rng);
+}
+
+}  // namespace dlb

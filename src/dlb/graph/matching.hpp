@@ -1,0 +1,37 @@
+// Matchings: the communication pattern of dimension-exchange balancing.
+//
+// In the matching model (paper §2.1) each round restricts load transfer to
+// the edges of a matching. Two classic schedules exist:
+//  * periodic matchings — a fixed set of matchings covering E, used
+//    round-robin (Hosseini et al.; built here via edge colouring), and
+//  * random matchings  — a fresh random maximal matching each round
+//    (Ghosh–Muthukrishnan).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dlb/common/rng.hpp"
+#include "dlb/graph/graph.hpp"
+
+namespace dlb {
+
+/// A matching is a set of edge ids, pairwise non-incident.
+using matching = std::vector<edge_id>;
+
+/// True iff `m` is a valid matching of `g` (distinct edges, no shared node).
+[[nodiscard]] bool is_matching(const graph& g, const matching& m);
+
+/// Samples a random maximal matching: scan a uniformly random permutation of
+/// E and greedily keep every edge whose endpoints are still free. Maximal
+/// (no edge can be added), and every edge appears with probability >= 1/(2d).
+[[nodiscard]] matching random_maximal_matching(const graph& g, rng_t& rng);
+
+/// Convenience: seeded deterministic variant, used to couple randomized
+/// process instances (Definition 3, footnote 6: coupled runs see the same
+/// matching sequence).
+[[nodiscard]] matching random_maximal_matching(const graph& g,
+                                               std::uint64_t seed,
+                                               std::uint64_t round);
+
+}  // namespace dlb

@@ -1,0 +1,260 @@
+#include "dlb/graph/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/common/rng.hpp"
+
+namespace dlb {
+
+namespace {
+
+using dvec = std::vector<real_t>;
+
+real_t dot(const dvec& a, const dvec& b) {
+  real_t s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+real_t norm(const dvec& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(dvec& y, real_t c, const dvec& x) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += c * x[i];
+}
+
+void scale(dvec& a, real_t c) {
+  for (real_t& v : a) v *= c;
+}
+
+/// Generic deflated power iteration: returns the dominant |eigenvalue| of the
+/// symmetric operator `matvec` restricted to the complement of unit vector
+/// `deflate`.
+template <typename MatVec>
+real_t deflated_power_iteration(node_id n, const MatVec& matvec,
+                                const dvec& deflate, int max_iterations,
+                                real_t tolerance) {
+  rng_t rng = make_rng(0x57EC7ULL);
+  dvec x(static_cast<size_t>(n));
+  for (real_t& v : x) v = uniform_real(rng, -1.0, 1.0);
+  axpy(x, -dot(x, deflate), deflate);
+  real_t nx = norm(x);
+  DLB_ASSERT(nx > 0);
+  scale(x, 1.0 / nx);
+
+  dvec y(static_cast<size_t>(n));
+  real_t prev = 0;
+  for (int it = 0; it < max_iterations; ++it) {
+    matvec(x, y);
+    axpy(y, -dot(y, deflate), deflate);  // re-deflate against drift
+    const real_t rayleigh = dot(x, y);
+    const real_t ny = norm(y);
+    if (ny < 1e-300) return 0.0;  // operator annihilates the complement
+    scale(y, 1.0 / ny);
+    x.swap(y);
+    if (it > 8 && std::abs(std::abs(rayleigh) - prev) <
+                      tolerance * std::max<real_t>(1.0, prev)) {
+      return std::abs(rayleigh);
+    }
+    prev = std::abs(rayleigh);
+  }
+  return prev;
+}
+
+}  // namespace
+
+speed_vector uniform_speeds(node_id n) {
+  DLB_EXPECTS(n > 0);
+  return speed_vector(static_cast<size_t>(n), 1);
+}
+
+void validate_speeds(const graph& g, const speed_vector& s) {
+  DLB_EXPECTS(static_cast<node_id>(s.size()) == g.num_nodes());
+  for (const weight_t si : s) DLB_EXPECTS(si >= 1);
+}
+
+std::vector<real_t> symmetric_eigenvalues(std::vector<real_t> a, node_id n) {
+  DLB_EXPECTS(n > 0);
+  DLB_EXPECTS(a.size() == static_cast<size_t>(n) * static_cast<size_t>(n));
+  const auto at = [&a, n](node_id r, node_id c) -> real_t& {
+    return a[static_cast<size_t>(r) * static_cast<size_t>(n) +
+             static_cast<size_t>(c)];
+  };
+  // Cyclic Jacobi: sweep all (p,q), rotate away off-diagonal mass.
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    real_t off = 0;
+    for (node_id p = 0; p < n; ++p) {
+      for (node_id q = p + 1; q < n; ++q) off += at(p, q) * at(p, q);
+    }
+    if (off < 1e-24) break;
+    for (node_id p = 0; p < n; ++p) {
+      for (node_id q = p + 1; q < n; ++q) {
+        const real_t apq = at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const real_t theta = (at(q, q) - at(p, p)) / (2 * apq);
+        const real_t t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const real_t c = 1.0 / std::sqrt(t * t + 1.0);
+        const real_t s = t * c;
+        for (node_id k = 0; k < n; ++k) {
+          const real_t akp = at(k, p);
+          const real_t akq = at(k, q);
+          at(k, p) = c * akp - s * akq;
+          at(k, q) = s * akp + c * akq;
+        }
+        for (node_id k = 0; k < n; ++k) {
+          const real_t apk = at(p, k);
+          const real_t aqk = at(q, k);
+          at(p, k) = c * apk - s * aqk;
+          at(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<real_t> eig(static_cast<size_t>(n));
+  for (node_id i = 0; i < n; ++i) eig[static_cast<size_t>(i)] = at(i, i);
+  std::sort(eig.begin(), eig.end());
+  return eig;
+}
+
+std::vector<real_t> dense_diffusion_matrix(const graph& g,
+                                           const speed_vector& s,
+                                           const std::vector<real_t>& alpha) {
+  validate_speeds(g, s);
+  DLB_EXPECTS(static_cast<edge_id>(alpha.size()) == g.num_edges());
+  const node_id n = g.num_nodes();
+  std::vector<real_t> p(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+  for (node_id i = 0; i < n; ++i) {
+    real_t out = 0;
+    for (const incidence& inc : g.neighbors(i)) {
+      const real_t pij = alpha[static_cast<size_t>(inc.edge)] /
+                         static_cast<real_t>(s[static_cast<size_t>(i)]);
+      p[static_cast<size_t>(i) * static_cast<size_t>(n) +
+        static_cast<size_t>(inc.neighbor)] = pij;
+      out += pij;
+    }
+    DLB_EXPECTS(out < 1.0 + flow_epsilon);  // sum_j alpha_ij < s_i
+    p[static_cast<size_t>(i) * static_cast<size_t>(n) +
+      static_cast<size_t>(i)] = 1.0 - out;
+  }
+  return p;
+}
+
+real_t diffusion_lambda(const graph& g, const speed_vector& s,
+                        const std::vector<real_t>& alpha, int max_iterations,
+                        real_t tolerance) {
+  validate_speeds(g, s);
+  DLB_EXPECTS(static_cast<edge_id>(alpha.size()) == g.num_edges());
+  const node_id n = g.num_nodes();
+
+  // Symmetrized M = S^{1/2} P S^{-1/2}: M_{ij} = alpha_e / sqrt(s_i s_j),
+  // M_{ii} = P_{ii}. Stationary direction: v1_i ∝ sqrt(s_i), eigenvalue 1.
+  dvec sqrt_s(static_cast<size_t>(n));
+  for (node_id i = 0; i < n; ++i) {
+    sqrt_s[static_cast<size_t>(i)] =
+        std::sqrt(static_cast<real_t>(s[static_cast<size_t>(i)]));
+  }
+  dvec diag(static_cast<size_t>(n), 1.0);
+  for (node_id i = 0; i < n; ++i) {
+    real_t out = 0;
+    for (const incidence& inc : g.neighbors(i)) {
+      out += alpha[static_cast<size_t>(inc.edge)] /
+             static_cast<real_t>(s[static_cast<size_t>(i)]);
+    }
+    diag[static_cast<size_t>(i)] = 1.0 - out;
+  }
+  dvec v1 = sqrt_s;
+  scale(v1, 1.0 / norm(v1));
+
+  const auto matvec = [&](const dvec& x, dvec& y) {
+    for (node_id i = 0; i < n; ++i) {
+      y[static_cast<size_t>(i)] = diag[static_cast<size_t>(i)] *
+                                  x[static_cast<size_t>(i)];
+    }
+    for (edge_id e = 0; e < g.num_edges(); ++e) {
+      const edge& ed = g.endpoints(e);
+      const real_t m = alpha[static_cast<size_t>(e)] /
+                       (sqrt_s[static_cast<size_t>(ed.u)] *
+                        sqrt_s[static_cast<size_t>(ed.v)]);
+      y[static_cast<size_t>(ed.u)] += m * x[static_cast<size_t>(ed.v)];
+      y[static_cast<size_t>(ed.v)] += m * x[static_cast<size_t>(ed.u)];
+    }
+  };
+  return deflated_power_iteration(n, matvec, v1, max_iterations, tolerance);
+}
+
+real_t diffusion_lambda_dense(const graph& g, const speed_vector& s,
+                              const std::vector<real_t>& alpha) {
+  const node_id n = g.num_nodes();
+  // Eigenvalues of P equal eigenvalues of the symmetric similarity transform.
+  std::vector<real_t> m(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+  for (node_id i = 0; i < n; ++i) {
+    real_t out = 0;
+    for (const incidence& inc : g.neighbors(i)) {
+      const real_t a = alpha[static_cast<size_t>(inc.edge)];
+      out += a / static_cast<real_t>(s[static_cast<size_t>(i)]);
+      m[static_cast<size_t>(i) * static_cast<size_t>(n) +
+        static_cast<size_t>(inc.neighbor)] =
+          a / std::sqrt(static_cast<real_t>(s[static_cast<size_t>(i)]) *
+                        static_cast<real_t>(
+                            s[static_cast<size_t>(inc.neighbor)]));
+    }
+    m[static_cast<size_t>(i) * static_cast<size_t>(n) +
+      static_cast<size_t>(i)] = 1.0 - out;
+  }
+  std::vector<real_t> eig = symmetric_eigenvalues(std::move(m), n);
+  // eig is ascending; the largest is 1 (stationary). λ is the max |e| over
+  // the rest: either eig[n-2] or |eig[0]|.
+  real_t lambda = 0;
+  if (n >= 2) {
+    lambda = std::max(std::abs(eig[static_cast<size_t>(n) - 2]),
+                      std::abs(eig.front()));
+    // Guard against eig[n-1] slightly below a degenerate second eigenvalue.
+    lambda = std::min(lambda, 1.0);
+  }
+  return lambda;
+}
+
+real_t laplacian_gamma(const graph& g, int max_iterations, real_t tolerance) {
+  const node_id n = g.num_nodes();
+  const real_t shift = 2.0 * static_cast<real_t>(g.max_degree());
+  dvec v1(static_cast<size_t>(n), 1.0 / std::sqrt(static_cast<real_t>(n)));
+  // B = shift*I - L is PSD with top eigenpair (shift, constant vector);
+  // the deflated dominant eigenvalue is shift - γ.
+  const auto matvec = [&](const dvec& x, dvec& y) {
+    for (node_id i = 0; i < n; ++i) {
+      y[static_cast<size_t>(i)] =
+          (shift - static_cast<real_t>(g.degree(i))) * x[static_cast<size_t>(i)];
+    }
+    for (edge_id e = 0; e < g.num_edges(); ++e) {
+      const edge& ed = g.endpoints(e);
+      y[static_cast<size_t>(ed.u)] += x[static_cast<size_t>(ed.v)];
+      y[static_cast<size_t>(ed.v)] += x[static_cast<size_t>(ed.u)];
+    }
+  };
+  const real_t mu =
+      deflated_power_iteration(n, matvec, v1, max_iterations, tolerance);
+  return std::max<real_t>(0.0, shift - mu);
+}
+
+real_t laplacian_gamma_dense(const graph& g) {
+  const node_id n = g.num_nodes();
+  std::vector<real_t> l(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+  for (node_id i = 0; i < n; ++i) {
+    l[static_cast<size_t>(i) * static_cast<size_t>(n) +
+      static_cast<size_t>(i)] = static_cast<real_t>(g.degree(i));
+  }
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    l[static_cast<size_t>(ed.u) * static_cast<size_t>(n) +
+      static_cast<size_t>(ed.v)] = -1.0;
+    l[static_cast<size_t>(ed.v) * static_cast<size_t>(n) +
+      static_cast<size_t>(ed.u)] = -1.0;
+  }
+  std::vector<real_t> eig = symmetric_eigenvalues(std::move(l), n);
+  DLB_ASSERT(n >= 2);
+  return eig[1];
+}
+
+}  // namespace dlb

@@ -1,0 +1,64 @@
+// Spectral toolkit.
+//
+// The convergence theory of the paper's continuous processes is spectral:
+//  * FOS balances in T = O(log(Kn)/(1-λ)) rounds, where λ is the
+//    second-largest absolute eigenvalue of the diffusion matrix P,
+//  * SOS with optimal β = 2/(1+sqrt(1-λ²)) balances in O(log(Kn)/sqrt(1-λ)),
+//  * random matchings balance in O(d·log(Kn)/γ) where γ is the second
+//    smallest eigenvalue of the graph Laplacian.
+// We therefore need λ and γ. For heterogeneous speeds, P_{i,j} = α_{i,j}/s_i
+// is not symmetric but is similar to the symmetric S^{1/2} P S^{-1/2}
+// (S = diag(s)), so its spectrum is real; both estimators exploit this.
+#pragma once
+
+#include <vector>
+
+#include "dlb/common/types.hpp"
+#include "dlb/graph/graph.hpp"
+
+namespace dlb {
+
+/// Node speeds (paper §3): integer, >= 1, one per node.
+using speed_vector = std::vector<weight_t>;
+
+/// Returns a speed vector of all ones (the uniform-speed model).
+[[nodiscard]] speed_vector uniform_speeds(node_id n);
+
+/// Throws unless `s` has one entry >= 1 per node of `g`.
+void validate_speeds(const graph& g, const speed_vector& s);
+
+/// Dense symmetric eigensolver (cyclic Jacobi). `a` is row-major n*n and is
+/// destroyed. Returns all eigenvalues in ascending order. O(n^3) — intended
+/// for tests and small experiment graphs (n <= ~512).
+[[nodiscard]] std::vector<real_t> symmetric_eigenvalues(std::vector<real_t> a,
+                                                        node_id n);
+
+/// Builds the dense diffusion matrix P with P_{i,j} = alpha_e / s_i for each
+/// edge e = (i,j) and P_{i,i} = 1 - sum_j P_{i,j}. Row-major n*n.
+[[nodiscard]] std::vector<real_t> dense_diffusion_matrix(
+    const graph& g, const speed_vector& s, const std::vector<real_t>& alpha);
+
+/// Second-largest absolute eigenvalue λ of the diffusion matrix, estimated by
+/// power iteration on the symmetrized matrix with the stationary direction
+/// deflated. `alpha` holds one α value per edge (symmetric by construction).
+[[nodiscard]] real_t diffusion_lambda(const graph& g, const speed_vector& s,
+                                      const std::vector<real_t>& alpha,
+                                      int max_iterations = 20000,
+                                      real_t tolerance = 1e-10);
+
+/// Exact λ via the dense eigensolver; O(n^3), for tests / small graphs.
+[[nodiscard]] real_t diffusion_lambda_dense(const graph& g,
+                                            const speed_vector& s,
+                                            const std::vector<real_t>& alpha);
+
+/// Algebraic connectivity γ: second-smallest eigenvalue of the (unweighted)
+/// Laplacian L = D - A, estimated by power iteration on 2Δ·I - L with the
+/// constant vector deflated.
+[[nodiscard]] real_t laplacian_gamma(const graph& g,
+                                     int max_iterations = 20000,
+                                     real_t tolerance = 1e-10);
+
+/// Exact γ via the dense eigensolver; O(n^3), for tests / small graphs.
+[[nodiscard]] real_t laplacian_gamma_dense(const graph& g);
+
+}  // namespace dlb

@@ -1,0 +1,40 @@
+#include "dlb/workload/arrival.hpp"
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::workload {
+
+uniform_arrivals::uniform_arrivals(node_id n, weight_t per_round,
+                                   std::uint64_t seed)
+    : n_(n), per_round_(per_round), seed_(seed) {
+  DLB_EXPECTS(n > 0 && per_round >= 0);
+}
+
+std::vector<arrival> uniform_arrivals::arrivals(round_t t) const {
+  // Deterministic in (seed, t): re-derivable by any component.
+  rng_t rng = make_rng(seed_, static_cast<std::uint64_t>(t) ^ 0xA221u);
+  std::vector<weight_t> counts(static_cast<size_t>(n_), 0);
+  for (weight_t k = 0; k < per_round_; ++k) {
+    ++counts[static_cast<size_t>(uniform_int<node_id>(rng, 0, n_ - 1))];
+  }
+  std::vector<arrival> out;
+  for (node_id i = 0; i < n_; ++i) {
+    if (counts[static_cast<size_t>(i)] > 0) {
+      out.push_back({i, counts[static_cast<size_t>(i)]});
+    }
+  }
+  return out;
+}
+
+burst_arrivals::burst_arrivals(node_id target, weight_t burst_size,
+                               round_t period)
+    : target_(target), burst_size_(burst_size), period_(period) {
+  DLB_EXPECTS(target >= 0 && burst_size >= 0 && period >= 1);
+}
+
+std::vector<arrival> burst_arrivals::arrivals(round_t t) const {
+  if (t % period_ != 0) return {};
+  return {{target_, burst_size_}};
+}
+
+}  // namespace dlb::workload

@@ -1,0 +1,75 @@
+// Dynamic task arrivals: the load balancing context the paper's introduction
+// motivates (tasks keep arriving while the network balances). Schedules are
+// deterministic functions of the round index (seeded), so dynamic
+// experiments are exactly reproducible and flow imitators can mirror the
+// arrivals into their internal continuous simulation.
+//
+// This is an *extension* beyond the paper's static theorems (documented in
+// DESIGN.md): additivity (Definition 3) is exactly the property that makes
+// flow imitation compose with arrivals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dlb/common/rng.hpp"
+#include "dlb/common/types.hpp"
+
+namespace dlb::workload {
+
+/// One arrival batch: tokens landing on a node.
+struct arrival {
+  node_id node;
+  weight_t count;
+};
+
+/// A deterministic arrival schedule.
+class arrival_schedule {
+ public:
+  virtual ~arrival_schedule() = default;
+
+  /// Arrivals at the *start* of round t (t = 0, 1, ...).
+  [[nodiscard]] virtual std::vector<arrival> arrivals(round_t t) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// No arrivals (static experiments).
+class no_arrivals final : public arrival_schedule {
+ public:
+  [[nodiscard]] std::vector<arrival> arrivals(round_t) const override {
+    return {};
+  }
+  [[nodiscard]] std::string name() const override { return "none"; }
+};
+
+/// Every round, `per_round` tokens land on independently uniform nodes.
+class uniform_arrivals final : public arrival_schedule {
+ public:
+  uniform_arrivals(node_id n, weight_t per_round, std::uint64_t seed);
+  [[nodiscard]] std::vector<arrival> arrivals(round_t t) const override;
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+ private:
+  node_id n_;
+  weight_t per_round_;
+  std::uint64_t seed_;
+};
+
+/// Every `period` rounds, a burst of `burst_size` tokens lands on `target`.
+class burst_arrivals final : public arrival_schedule {
+ public:
+  burst_arrivals(node_id target, weight_t burst_size, round_t period);
+  [[nodiscard]] std::vector<arrival> arrivals(round_t t) const override;
+  [[nodiscard]] std::string name() const override { return "burst"; }
+
+ private:
+  node_id target_;
+  weight_t burst_size_;
+  round_t period_;
+};
+
+}  // namespace dlb::workload

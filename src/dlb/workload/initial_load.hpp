@@ -1,0 +1,60 @@
+// Initial load distributions and task decompositions for experiments.
+//
+// The paper's bounds are worst-case over the initial distribution; the bench
+// harness exercises the classic hard cases (all load on one node, adversarial
+// spikes) and average cases (uniformly random tokens, Zipf skew).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dlb/common/types.hpp"
+#include "dlb/core/tasks.hpp"
+#include "dlb/graph/spectral.hpp"  // speed_vector
+
+namespace dlb::workload {
+
+/// All `total` tokens on node `at`.
+[[nodiscard]] std::vector<weight_t> point_mass(node_id n, node_id at,
+                                               weight_t total);
+
+/// `total` tokens thrown independently and uniformly at the n nodes.
+[[nodiscard]] std::vector<weight_t> uniform_random(node_id n, weight_t total,
+                                                   std::uint64_t seed);
+
+/// `base` tokens everywhere plus a spike of `spike` extra tokens on `at`.
+[[nodiscard]] std::vector<weight_t> balanced_plus_spike(node_id n,
+                                                        weight_t base,
+                                                        node_id at,
+                                                        weight_t spike);
+
+/// Every node draws `low` or `high` tokens (probability `p_high` for high).
+[[nodiscard]] std::vector<weight_t> bimodal(node_id n, weight_t low,
+                                            weight_t high, double p_high,
+                                            std::uint64_t seed);
+
+/// `total` tokens distributed with Zipf(exponent) popularity over nodes
+/// 0..n-1 (node 0 most loaded).
+[[nodiscard]] std::vector<weight_t> zipf(node_id n, weight_t total,
+                                         double exponent, std::uint64_t seed);
+
+/// x + ℓ·s (the "sufficient initial load" x'' of Theorems 3(2)/8(2)).
+[[nodiscard]] std::vector<weight_t> add_speed_multiple(
+    std::vector<weight_t> x, const speed_vector& s, weight_t ell);
+
+/// Decomposes per-node loads into tasks with weights drawn uniformly from
+/// {1..w_max} (the last task of a node is clipped so totals match exactly).
+[[nodiscard]] task_assignment decompose_uniform_weights(
+    const std::vector<weight_t>& loads, weight_t wmax, std::uint64_t seed);
+
+/// Decomposes per-node loads into heavy tasks of weight w_max (a `p_heavy`
+/// fraction of each node's weight, rounded down) and unit tasks.
+[[nodiscard]] task_assignment decompose_heavy_light(
+    const std::vector<weight_t>& loads, weight_t wmax, double p_heavy,
+    std::uint64_t seed);
+
+/// Random integer speeds uniform in {1..s_max}.
+[[nodiscard]] speed_vector random_speeds(node_id n, weight_t s_max,
+                                         std::uint64_t seed);
+
+}  // namespace dlb::workload

@@ -1,0 +1,64 @@
+#include "dlb/workload/scenario.hpp"
+
+#include <cmath>
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/graph/generators.hpp"
+
+namespace dlb::workload {
+
+namespace {
+
+graph_case arbitrary_case(node_id target_n) {
+  // Ring of cliques: clique size 8, as many cliques as needed. Low expansion:
+  // single bridge edges throttle flow between cliques.
+  const node_id clique = 8;
+  const node_id k = std::max<node_id>(3, target_n / clique);
+  auto g = std::make_shared<const graph>(
+      generators::ring_of_cliques(k, clique));
+  return {"ring-of-cliques(k=" + std::to_string(k) + ",q=8)", "arbitrary", g};
+}
+
+graph_case expander_case(node_id target_n, std::uint64_t seed) {
+  node_id n = std::max<node_id>(8, target_n);
+  if ((n * 4) % 2 != 0) ++n;  // n*d must be even (always true for d=4)
+  auto g = std::make_shared<const graph>(
+      generators::random_regular(n, 4, seed));
+  return {"random-4-regular(n=" + std::to_string(n) + ")", "expander", g};
+}
+
+graph_case hypercube_case(node_id target_n) {
+  int dim = 1;
+  while ((static_cast<node_id>(1) << (dim + 1)) <= target_n) ++dim;
+  auto g = std::make_shared<const graph>(generators::hypercube(dim));
+  return {"hypercube(dim=" + std::to_string(dim) + ")", "hypercube", g};
+}
+
+graph_case torus_case(node_id target_n) {
+  const node_id side = std::max<node_id>(
+      3, static_cast<node_id>(std::lround(std::sqrt(
+             static_cast<double>(target_n)))));
+  auto g = std::make_shared<const graph>(generators::torus_2d(side));
+  return {"torus-2d(side=" + std::to_string(side) + ")", "torus", g};
+}
+
+}  // namespace
+
+std::vector<graph_case> table_graph_classes(node_id target_n,
+                                            std::uint64_t seed) {
+  DLB_EXPECTS(target_n >= 16);
+  return {arbitrary_case(target_n), expander_case(target_n, seed),
+          hypercube_case(target_n), torus_case(target_n)};
+}
+
+graph_case make_graph_case(const std::string& family, node_id target_n,
+                           std::uint64_t seed) {
+  DLB_EXPECTS(target_n >= 16);
+  if (family == "arbitrary") return arbitrary_case(target_n);
+  if (family == "expander") return expander_case(target_n, seed);
+  if (family == "hypercube") return hypercube_case(target_n);
+  if (family == "torus") return torus_case(target_n);
+  throw contract_violation("unknown graph family: " + family);
+}
+
+}  // namespace dlb::workload

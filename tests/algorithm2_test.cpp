@@ -1,0 +1,154 @@
+// Algorithm 2 (randomized flow imitation): error bounds (Observation 9),
+// conservation, dummy accounting, seed determinism.
+#include "dlb/core/algorithm2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/core/metrics.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+std::unique_ptr<linear_process> fos_on(std::shared_ptr<const graph> g,
+                                       speed_vector s = {}) {
+  if (s.empty()) s = uniform_speeds(g->num_nodes());
+  return make_fos(g, std::move(s),
+                  make_alphas(*g, alpha_scheme::half_max_degree));
+}
+
+TEST(Algorithm2Test, FlowErrorStrictlyInsideUnitInterval) {
+  // Observation 9(3): after each round E_{i,j} is {Ŷ} or {Ŷ}-1, so |E| < 1.
+  auto g = make_g(generators::hypercube(4));
+  algorithm2 alg(fos_on(g), workload::uniform_random(16, 800, 2), /*seed=*/4);
+  for (int t = 0; t < 100; ++t) {
+    alg.step();
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      ASSERT_LT(std::abs(alg.flow_error(e)), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Algorithm2Test, LoadsNeverNegative) {
+  auto g = make_g(generators::star(8));
+  algorithm2 alg(fos_on(g), workload::point_mass(8, 0, 100), /*seed=*/6);
+  for (int t = 0; t < 150; ++t) {
+    alg.step();
+    for (const weight_t x : alg.loads()) ASSERT_GE(x, 0);
+    for (node_id i = 0; i < 8; ++i) ASSERT_GE(alg.dummies_at(i), 0);
+  }
+}
+
+TEST(Algorithm2Test, ConservationWithDummyAccounting) {
+  auto g = make_g(generators::ring_of_cliques(3, 4));
+  algorithm2 alg(fos_on(g), workload::point_mass(12, 0, 240), /*seed=*/8);
+  for (int t = 0; t < 120; ++t) alg.step();
+  weight_t total = 0;
+  for (const weight_t x : alg.loads()) total += x;
+  EXPECT_EQ(total, 240 + alg.dummy_created());
+  weight_t real_total = 0;
+  for (const weight_t x : alg.real_loads()) real_total += x;
+  EXPECT_EQ(real_total, 240);
+}
+
+TEST(Algorithm2Test, SufficientLoadAvoidsDummies) {
+  // Theorem 8(2) initial condition: x'' = (d/4 + 2c·sqrt(d·log n))·s. A
+  // generous ℓ makes dummy creation a negligible-probability event; the seed
+  // is fixed, so this test is deterministic.
+  auto g = make_g(generators::hypercube(4));  // d = 4, n = 16
+  const weight_t ell =
+      4 + 4 * static_cast<weight_t>(std::ceil(std::sqrt(4.0 * std::log(16.0))));
+  auto tokens = workload::add_speed_multiple(
+      workload::uniform_random(16, 320, 3), uniform_speeds(16), ell);
+  algorithm2 alg(fos_on(g), tokens, /*seed=*/10);
+  for (int t = 0; t < 200; ++t) alg.step();
+  EXPECT_EQ(alg.dummy_created(), 0);
+}
+
+TEST(Algorithm2Test, DeterministicGivenSeed) {
+  auto g = make_g(generators::torus_2d(4));
+  const auto tokens = workload::uniform_random(16, 400, 12);
+  algorithm2 a(fos_on(g), tokens, /*seed=*/99);
+  algorithm2 b(fos_on(g), tokens, /*seed=*/99);
+  for (int t = 0; t < 60; ++t) {
+    a.step();
+    b.step();
+  }
+  EXPECT_EQ(a.loads(), b.loads());
+  EXPECT_EQ(a.dummy_created(), b.dummy_created());
+}
+
+TEST(Algorithm2Test, DifferentSeedsDiverge) {
+  auto g = make_g(generators::torus_2d(4));
+  const auto tokens = workload::point_mass(16, 0, 1000);
+  algorithm2 a(fos_on(g), tokens, /*seed=*/1);
+  algorithm2 b(fos_on(g), tokens, /*seed=*/2);
+  bool differed = false;
+  for (int t = 0; t < 60 && !differed; ++t) {
+    a.step();
+    b.step();
+    differed = a.loads() != b.loads();
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(Algorithm2Test, NodeDeviationBoundedByDegree) {
+  // |X^D_i - x^A_i| = |Σ_j E_{i,j}| < d_i always (each |E| < 1), provided no
+  // dummy was created (Lemma 6 carries over to the randomized scheme).
+  auto g = make_g(generators::torus_2d(5));
+  auto tokens = workload::add_speed_multiple(
+      workload::uniform_random(25, 500, 5), uniform_speeds(25), 8);
+  algorithm2 alg(fos_on(g), tokens, /*seed=*/14);
+  for (int t = 0; t < 100; ++t) {
+    alg.step();
+    if (alg.dummy_created() > 0) GTEST_SKIP() << "dummy created";
+    const auto& xa = alg.continuous().loads();
+    for (node_id i = 0; i < 25; ++i) {
+      ASSERT_LT(std::abs(static_cast<real_t>(
+                    alg.loads()[static_cast<size_t>(i)]) -
+                         xa[static_cast<size_t>(i)]),
+                static_cast<real_t>(g->degree(i)) + 1e-9);
+    }
+  }
+}
+
+TEST(Algorithm2Test, DummyPreloadCountsInLoadsNotRealLoads) {
+  auto g = make_g(generators::path(2));
+  algorithm2 alg(fos_on(g), {10, 0}, /*seed=*/3,
+                 /*dummy_preload=*/{5, 5});
+  EXPECT_EQ(alg.loads(), (std::vector<weight_t>{15, 5}));
+  EXPECT_EQ(alg.real_loads(), (std::vector<weight_t>{10, 0}));
+  EXPECT_EQ(alg.dummy_created(), 0);  // preload is not "created" mid-run
+}
+
+TEST(Algorithm2Test, WorksOverRandomMatchings) {
+  auto g = make_g(generators::hypercube(3));
+  auto proc = make_random_matching_process(g, uniform_speeds(8), /*seed=*/21);
+  auto tokens = workload::add_speed_multiple(
+      workload::point_mass(8, 0, 400), uniform_speeds(8), 6);
+  algorithm2 alg(std::move(proc), tokens, /*seed=*/22);
+  for (int t = 0; t < 400; ++t) alg.step();
+  // Deterministic fallback bound: max-min <= 2d + 2 when no dummy was used.
+  EXPECT_EQ(alg.dummy_created(), 0);
+  EXPECT_LE(max_min_discrepancy(alg.real_loads(), alg.speeds()), 8.0 + 1e-9);
+}
+
+TEST(Algorithm2Test, RejectsBadInput) {
+  auto g = make_g(generators::path(2));
+  EXPECT_THROW(algorithm2(fos_on(g), {1, 2, 3}, 0), contract_violation);
+  EXPECT_THROW(algorithm2(fos_on(g), {1, -2}, 0), contract_violation);
+  EXPECT_THROW(algorithm2(fos_on(g), {1, 2}, 0, {1}), contract_violation);
+}
+
+}  // namespace
+}  // namespace dlb

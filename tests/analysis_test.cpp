@@ -1,0 +1,96 @@
+// Analysis helpers: statistics, traces, ASCII tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "dlb/analysis/stats.hpp"
+#include "dlb/analysis/table.hpp"
+#include "dlb/analysis/trace.hpp"
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::analysis {
+namespace {
+
+TEST(StatsTest, SummaryOfKnownSample) {
+  const summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(StatsTest, EvenCountMedian) {
+  const summary s = summarize({4, 1, 3, 2});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const summary s = summarize({7});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, LogLogSlopeRecoversExponent) {
+  // y = 3·x^1.5 exactly.
+  std::vector<real_t> x, y;
+  for (const real_t v : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.5));
+  }
+  EXPECT_NEAR(log_log_slope(x, y), 1.5, 1e-12);
+}
+
+TEST(StatsTest, LogLogSlopeRejectsBadInput) {
+  EXPECT_THROW((void)log_log_slope({1}, {1}), contract_violation);
+  EXPECT_THROW((void)log_log_slope({1, -2}, {1, 1}), contract_violation);
+}
+
+TEST(TraceTest, RecordAndQuery) {
+  run_trace tr;
+  EXPECT_TRUE(tr.empty());
+  tr.record({1, 10.0, 5.0, 100.0, 0});
+  tr.record({2, 3.0, 1.5, 9.0, 2});
+  tr.record({3, 0.5, 0.2, 0.25, 2});
+  EXPECT_EQ(tr.rows().size(), 3u);
+  EXPECT_EQ(tr.back().round, 3);
+  EXPECT_EQ(tr.first_round_below(4.0), 2);
+  EXPECT_EQ(tr.first_round_below(0.1), -1);
+}
+
+TEST(TraceTest, CsvFormat) {
+  run_trace tr;
+  tr.record({1, 2.0, 1.0, 4.0, 3});
+  std::ostringstream os;
+  tr.write_csv(os);
+  EXPECT_EQ(os.str(), "round,max_min,max_avg,potential,dummy\n1,2,1,4,3\n");
+}
+
+TEST(TableTest, AlignedRendering) {
+  ascii_table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"a-longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("a-longer-name"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, RowArityChecked) {
+  ascii_table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), contract_violation);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(ascii_table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(ascii_table::fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace dlb::analysis

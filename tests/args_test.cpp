@@ -1,0 +1,61 @@
+// The key=value argument parser used by the simulator example.
+#include "dlb/analysis/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::analysis {
+namespace {
+
+TEST(ArgsTest, ParsesKeyValuePairs) {
+  const arg_map args({"graph=torus", "n=64", "rate=0.5", "verbose"});
+  EXPECT_EQ(args.get("graph", "?"), "torus");
+  EXPECT_EQ(args.get_int("n", 0), 64);
+  EXPECT_DOUBLE_EQ(args.get_real("rate", 0.0), 0.5);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", ""), "true");
+}
+
+TEST(ArgsTest, FallbacksApply) {
+  const arg_map args({});
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_real("missing", 2.5), 2.5);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgsTest, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "a=1", "b=two"};
+  const arg_map args(3, argv);
+  EXPECT_EQ(args.get_int("a", 0), 1);
+  EXPECT_EQ(args.get("b", ""), "two");
+  EXPECT_FALSE(args.has("prog"));
+}
+
+TEST(ArgsTest, RejectsDuplicatesAndEmptyKeys) {
+  EXPECT_THROW(arg_map({"a=1", "a=2"}), contract_violation);
+  EXPECT_THROW(arg_map({"=1"}), contract_violation);
+}
+
+TEST(ArgsTest, NumericValidation) {
+  const arg_map args({"n=abc", "r=1.5x"});
+  EXPECT_THROW((void)args.get_int("n", 0), contract_violation);
+  EXPECT_THROW((void)args.get_real("r", 0.0), contract_violation);
+}
+
+TEST(ArgsTest, UnusedKeysTracksConsumption) {
+  const arg_map args({"used=1", "typo=2"});
+  (void)args.get_int("used", 0);
+  const auto unused = args.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ArgsTest, ValueWithEqualsSign) {
+  const arg_map args({"expr=a=b"});
+  EXPECT_EQ(args.get("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace dlb::analysis

@@ -1,0 +1,173 @@
+// Baseline local-rounding processes: conservation, negativity behaviour,
+// bounded quasirandom error, matching-model restrictions.
+#include "dlb/baselines/local_rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/core/metrics.hpp"
+#include "dlb/graph/coloring.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+std::unique_ptr<alpha_schedule> diffusion_sched(const graph& g) {
+  return std::make_unique<diffusion_alpha_schedule>(
+      make_alphas(g, alpha_scheme::half_max_degree));
+}
+
+local_rounding_process make_baseline(std::shared_ptr<const graph> g,
+                                     rounding_policy policy,
+                                     std::vector<weight_t> tokens,
+                                     std::uint64_t seed = 1) {
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  return local_rounding_process(g, s, diffusion_sched(*g), policy,
+                                std::move(tokens), seed);
+}
+
+TEST(BaselineTest, PolicyNames) {
+  EXPECT_EQ(to_string(rounding_policy::round_down), "round-down");
+  EXPECT_EQ(to_string(rounding_policy::randomized_fraction),
+            "randomized-fraction");
+  EXPECT_EQ(to_string(rounding_policy::randomized_half), "randomized-half");
+  EXPECT_EQ(to_string(rounding_policy::quasirandom), "quasirandom");
+}
+
+TEST(BaselineTest, RoundDownConservesAndStaysNonNegative) {
+  auto g = make_g(generators::torus_2d(4));
+  auto p = make_baseline(g, rounding_policy::round_down,
+                         workload::point_mass(16, 0, 1600));
+  for (int t = 0; t < 300; ++t) p.step();
+  weight_t total = 0;
+  for (const weight_t x : p.loads()) {
+    EXPECT_GE(x, 0);
+    total += x;
+  }
+  EXPECT_EQ(total, 1600);
+  EXPECT_EQ(p.negative_load_events(), 0);
+}
+
+TEST(BaselineTest, RoundDownReducesDiscrepancy) {
+  auto g = make_g(generators::hypercube(4));
+  auto p = make_baseline(g, rounding_policy::round_down,
+                         workload::point_mass(16, 0, 3200));
+  const real_t before = max_min_discrepancy(p.loads(), p.speeds());
+  for (int t = 0; t < 400; ++t) p.step();
+  const real_t after = max_min_discrepancy(p.loads(), p.speeds());
+  EXPECT_LT(after, before / 10.0);
+}
+
+TEST(BaselineTest, RoundDownGetsStuckAboveFlowImitation) {
+  // The classic failure mode: once every pairwise difference prescribes less
+  // than 1 token, round-down freezes. On a path with a gentle gradient the
+  // final discrepancy stays well above 0 even though T has long passed.
+  auto g = make_g(generators::path(8));
+  auto p = make_baseline(g, rounding_policy::round_down,
+                         workload::point_mass(8, 0, 160));
+  for (int t = 0; t < 5000; ++t) p.step();
+  EXPECT_GT(max_min_discrepancy(p.loads(), p.speeds()), 2.0);
+}
+
+TEST(BaselineTest, RandomizedFractionConserves) {
+  auto g = make_g(generators::ring_of_cliques(3, 4));
+  auto p = make_baseline(g, rounding_policy::randomized_fraction,
+                         workload::uniform_random(12, 600, 4), /*seed=*/7);
+  for (int t = 0; t < 200; ++t) p.step();
+  weight_t total = 0;
+  for (const weight_t x : p.loads()) total += x;
+  EXPECT_EQ(total, 600);
+}
+
+TEST(BaselineTest, QuasirandomAccumulatedErrorBounded) {
+  // The bounded-error property of [26]: |Δ̂| <= 1/2 after every round.
+  auto g = make_g(generators::torus_2d(4));
+  auto p = make_baseline(g, rounding_policy::quasirandom,
+                         workload::point_mass(16, 0, 1600));
+  for (int t = 0; t < 300; ++t) {
+    p.step();
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      ASSERT_LE(std::abs(p.accumulated_error(e)), 0.5 + 1e-9);
+    }
+  }
+}
+
+TEST(BaselineTest, QuasirandomBeatsRoundDownOnPath) {
+  auto g = make_g(generators::path(8));
+  auto down = make_baseline(g, rounding_policy::round_down,
+                            workload::point_mass(8, 0, 160));
+  auto quasi = make_baseline(g, rounding_policy::quasirandom,
+                             workload::point_mass(8, 0, 160));
+  for (int t = 0; t < 5000; ++t) {
+    down.step();
+    quasi.step();
+  }
+  EXPECT_LE(max_min_discrepancy(quasi.loads(), quasi.speeds()),
+            max_min_discrepancy(down.loads(), down.speeds()));
+}
+
+TEST(BaselineTest, MatchingModelOnlyTouchesMatchedNodes) {
+  auto g = make_g(generators::cycle(6));
+  const speed_vector s = uniform_speeds(6);
+  auto sched = std::make_unique<random_matching_schedule>(*g, s, /*seed=*/5);
+  local_rounding_process p(g, s, std::move(sched),
+                           rounding_policy::round_down,
+                           workload::point_mass(6, 0, 600), /*seed=*/5);
+  const auto before = p.loads();
+  p.step();
+  const matching m = random_maximal_matching(*g, 5, 0);
+  std::vector<char> matched(6, 0);
+  for (const edge_id e : m) {
+    matched[static_cast<size_t>(g->endpoints(e).u)] = 1;
+    matched[static_cast<size_t>(g->endpoints(e).v)] = 1;
+  }
+  for (node_id i = 0; i < 6; ++i) {
+    if (!matched[static_cast<size_t>(i)]) {
+      EXPECT_EQ(p.loads()[static_cast<size_t>(i)],
+                before[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(BaselineTest, RandomizedHalfMatchingConverges) {
+  auto g = make_g(generators::hypercube(4));
+  const speed_vector s = uniform_speeds(16);
+  const edge_coloring c = misra_gries_edge_coloring(*g);
+  auto sched = std::make_unique<periodic_matching_schedule>(
+      *g, s, to_matchings(*g, c));
+  local_rounding_process p(g, s, std::move(sched),
+                           rounding_policy::randomized_half,
+                           workload::point_mass(16, 0, 1600), /*seed=*/9);
+  for (int t = 0; t < 600; ++t) p.step();
+  EXPECT_LT(max_min_discrepancy(p.loads(), p.speeds()), 20.0);
+  weight_t total = 0;
+  for (const weight_t x : p.loads()) total += x;
+  EXPECT_EQ(total, 1600);
+}
+
+TEST(BaselineTest, RejectsBadConstruction) {
+  auto g = make_g(generators::path(2));
+  const speed_vector s = uniform_speeds(2);
+  EXPECT_THROW(local_rounding_process(nullptr, s, diffusion_sched(*g),
+                                      rounding_policy::round_down, {1, 2}, 0),
+               contract_violation);
+  EXPECT_THROW(local_rounding_process(g, s, diffusion_sched(*g),
+                                      rounding_policy::round_down, {1}, 0),
+               contract_violation);
+  EXPECT_THROW(local_rounding_process(g, s, diffusion_sched(*g),
+                                      rounding_policy::round_down, {1, -1},
+                                      0),
+               contract_violation);
+}
+
+}  // namespace
+}  // namespace dlb

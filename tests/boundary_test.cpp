@@ -1,0 +1,140 @@
+// Boundary and degenerate-input behaviour across the stack: empty loads,
+// single-edge networks, zero-round runs, all-dummy assignments, zero-rate
+// arrival schedules.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dlb/core/algorithm1.hpp"
+#include "dlb/core/algorithm2.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/engine.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/core/metrics.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/arrival.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+std::unique_ptr<linear_process> fos_on(std::shared_ptr<const graph> g) {
+  return make_fos(g, uniform_speeds(g->num_nodes()),
+                  make_alphas(*g, alpha_scheme::half_max_degree));
+}
+
+TEST(BoundaryTest, EmptyNetworkStaysEmpty) {
+  auto g = make_g(generators::torus_2d(3));
+  algorithm1 alg(fos_on(g), task_assignment::tokens(
+                                std::vector<weight_t>(9, 0)));
+  for (int t = 0; t < 30; ++t) alg.step();
+  for (const weight_t x : alg.loads()) EXPECT_EQ(x, 0);
+  EXPECT_EQ(alg.dummy_created(), 0);
+  EXPECT_DOUBLE_EQ(max_min_discrepancy(alg.loads(), alg.speeds()), 0.0);
+}
+
+TEST(BoundaryTest, SingleTokenNetwork) {
+  // One token in the whole system: it may wander, but totals and
+  // non-negativity hold and the discrepancy is the trivial 1.
+  auto g = make_g(generators::cycle(5));
+  algorithm2 alg(fos_on(g), {1, 0, 0, 0, 0}, /*seed=*/3);
+  for (int t = 0; t < 50; ++t) {
+    alg.step();
+    weight_t total = 0;
+    for (const weight_t x : alg.loads()) {
+      ASSERT_GE(x, 0);
+      total += x;
+    }
+    ASSERT_EQ(total, 1 + alg.dummy_created());
+  }
+}
+
+TEST(BoundaryTest, TwoNodeNetworkBalancesExactly) {
+  auto g = make_g(generators::path(2));
+  algorithm1 alg(fos_on(g), task_assignment::tokens({100, 0}));
+  const auto r = run_experiment(alg, alg.continuous(), 10000);
+  ASSERT_TRUE(r.continuous_converged);
+  EXPECT_EQ(r.final_real_loads, (std::vector<weight_t>{50, 50}));
+}
+
+TEST(BoundaryTest, AllDummyAssignmentBalancesAndEliminatesToZero) {
+  // Preload-only start: dynamics run entirely on dummies; real loads are
+  // zero throughout and the final report eliminates everything.
+  auto g = make_g(generators::star(5));
+  task_assignment tasks(5);
+  add_dummy_preload(tasks, uniform_speeds(5), 4);
+  algorithm1 alg(fos_on(g), std::move(tasks));
+  for (int t = 0; t < 40; ++t) alg.step();
+  for (const weight_t x : alg.real_loads()) EXPECT_EQ(x, 0);
+  weight_t total = 0;
+  for (const weight_t x : alg.loads()) total += x;
+  EXPECT_EQ(total, 20 + alg.dummy_created());
+}
+
+TEST(BoundaryTest, ZeroRoundExperiment) {
+  // Already balanced start: T^A = 0 and run_experiment does nothing.
+  auto g = make_g(generators::complete(4));
+  algorithm1 alg(fos_on(g), task_assignment::tokens({5, 5, 5, 5}));
+  const auto r = run_experiment(alg, alg.continuous(), 1000);
+  EXPECT_TRUE(r.continuous_converged);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_EQ(alg.rounds_executed(), 0);
+  EXPECT_DOUBLE_EQ(r.final_max_min, 0.0);
+}
+
+TEST(BoundaryTest, RunRoundsZeroIsANoop) {
+  auto g = make_g(generators::path(2));
+  algorithm1 alg(fos_on(g), task_assignment::tokens({3, 1}));
+  run_rounds(alg, 0);
+  EXPECT_EQ(alg.rounds_executed(), 0);
+  EXPECT_THROW(run_rounds(alg, -1), contract_violation);
+}
+
+TEST(BoundaryTest, ZeroRateArrivals) {
+  workload::uniform_arrivals sched(8, 0, 1);
+  for (round_t t = 0; t < 5; ++t) EXPECT_TRUE(sched.arrivals(t).empty());
+
+  auto g = make_g(generators::cycle(4));
+  algorithm1 alg(fos_on(g), task_assignment::tokens({8, 0, 0, 0}));
+  const auto r = run_dynamic(alg, workload::no_arrivals{}, 20);
+  EXPECT_EQ(r.total_arrived, 0);
+  EXPECT_EQ(r.rounds, 20);
+}
+
+TEST(BoundaryTest, InjectZeroTokensIsANoop) {
+  auto g = make_g(generators::path(2));
+  algorithm2 alg(fos_on(g), {4, 0}, 1);
+  alg.inject_tokens(0, 0);
+  EXPECT_EQ(alg.loads(), (std::vector<weight_t>{4, 0}));
+  EXPECT_THROW(alg.inject_tokens(0, -1), contract_violation);
+}
+
+TEST(BoundaryTest, MaxAvgOfPerfectBalanceWithSpeedsIsZero) {
+  const std::vector<weight_t> x = {3, 6, 9};
+  const speed_vector s = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(max_avg_discrepancy(x, s), 0.0);
+  EXPECT_DOUBLE_EQ(potential(x, s), 0.0);
+}
+
+TEST(BoundaryTest, HeavyTaskOnTinyNetworkNeverSplits) {
+  // w_max equals the entire load: the single task can move but never split;
+  // discrepancy stays w_max, within the 2·d·w_max+2 bound.
+  auto g = make_g(generators::path(2));
+  auto tasks = task_assignment::from_weights({{8}, {}});
+  algorithm1 alg(fos_on(g), std::move(tasks));
+  for (int t = 0; t < 200; ++t) {
+    alg.step();
+    weight_t total = 0;
+    for (const weight_t x : alg.real_loads()) total += x;
+    ASSERT_EQ(total, 8);
+  }
+  EXPECT_LE(max_min_discrepancy(alg.real_loads(), alg.speeds()),
+            2.0 * 1 * 8 + 2.0);
+}
+
+}  // namespace
+}  // namespace dlb

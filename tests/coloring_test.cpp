@@ -1,0 +1,110 @@
+// Edge colouring tests: properness, colour bounds, and matching schedules.
+#include "dlb/graph/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "dlb/graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+using namespace dlb::generators;
+
+class ColoringParamTest : public ::testing::TestWithParam<int> {
+ protected:
+  static graph make_graph(int which) {
+    switch (which) {
+      case 0:
+        return path(10);
+      case 1:
+        return cycle(9);
+      case 2:
+        return cycle(8);
+      case 3:
+        return complete(7);
+      case 4:
+        return complete(8);
+      case 5:
+        return star(12);
+      case 6:
+        return hypercube(4);
+      case 7:
+        return torus_2d(5);
+      case 8:
+        return random_regular(30, 3, 11);
+      case 9:
+        return ring_of_cliques(4, 4);
+      case 10:
+        return complete_binary_tree(4);
+      case 11:
+        return lollipop(5, 3);
+      default:
+        return erdos_renyi_connected(25, 0.2, 5);
+    }
+  }
+};
+
+TEST_P(ColoringParamTest, GreedyIsProperAndWithinTwoDeltaMinusOne) {
+  const graph g = make_graph(GetParam());
+  const edge_coloring c = greedy_edge_coloring(g);
+  EXPECT_TRUE(is_proper_edge_coloring(g, c));
+  EXPECT_LE(c.num_colors, std::max(1, 2 * g.max_degree() - 1));
+}
+
+TEST_P(ColoringParamTest, MisraGriesIsProperAndWithinDeltaPlusOne) {
+  const graph g = make_graph(GetParam());
+  const edge_coloring c = misra_gries_edge_coloring(g);
+  EXPECT_TRUE(is_proper_edge_coloring(g, c));
+  EXPECT_LE(c.num_colors, g.max_degree() + 1);
+  EXPECT_GE(c.num_colors, g.max_degree());  // Vizing lower bound is Δ
+}
+
+TEST_P(ColoringParamTest, MatchingsCoverEveryEdgeExactlyOnce) {
+  const graph g = make_graph(GetParam());
+  const edge_coloring c = misra_gries_edge_coloring(g);
+  const std::vector<matching> ms = to_matchings(g, c);
+  EXPECT_EQ(static_cast<int>(ms.size()), c.num_colors);
+  std::vector<int> covered(static_cast<size_t>(g.num_edges()), 0);
+  for (const matching& m : ms) {
+    EXPECT_TRUE(is_matching(g, m));
+    for (const edge_id e : m) ++covered[static_cast<size_t>(e)];
+  }
+  for (const int cnt : covered) EXPECT_EQ(cnt, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ColoringParamTest,
+                         ::testing::Range(0, 13));
+
+TEST(ColoringTest, HypercubeGetsExactlyDimColors) {
+  // The hypercube is class 1: its chromatic index equals Δ = dim. Misra-Gries
+  // guarantees only Δ+1, so assert the bound, not optimality.
+  const graph g = hypercube(5);
+  const edge_coloring c = misra_gries_edge_coloring(g);
+  EXPECT_LE(c.num_colors, 6);
+}
+
+TEST(ColoringTest, EvenCycleNeedsTwoColors) {
+  const graph g = cycle(8);
+  const edge_coloring c = misra_gries_edge_coloring(g);
+  EXPECT_LE(c.num_colors, 3);
+  EXPECT_TRUE(is_proper_edge_coloring(g, c));
+}
+
+TEST(ColoringTest, ImproperColoringDetected) {
+  const graph g = path(3);  // edges (0,1),(1,2) share node 1
+  edge_coloring c;
+  c.color = {0, 0};
+  c.num_colors = 1;
+  EXPECT_FALSE(is_proper_edge_coloring(g, c));
+  c.color = {0, 1};
+  c.num_colors = 2;
+  EXPECT_TRUE(is_proper_edge_coloring(g, c));
+  c.color = {0, 5};  // out of declared range
+  EXPECT_FALSE(is_proper_edge_coloring(g, c));
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,99 @@
+// Convergence diagnostics: plateau detection and potential drop rates, on
+// synthetic traces and on a real FOS run (checking the λ² contraction of
+// [34]).
+#include "dlb/analysis/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/core/metrics.hpp"
+#include "dlb/graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+analysis::run_trace synthetic(std::vector<real_t> max_min,
+                              std::vector<real_t> phi = {}) {
+  analysis::run_trace tr;
+  for (std::size_t i = 0; i < max_min.size(); ++i) {
+    analysis::trace_row row;
+    row.round = static_cast<round_t>(i);
+    row.max_min = max_min[i];
+    row.potential = phi.empty() ? 1.0 : phi[i];
+    tr.record(row);
+  }
+  return tr;
+}
+
+TEST(ConvergenceTest, PlateauOnFlatTail) {
+  const auto tr = synthetic({10, 8, 6, 4, 4, 4, 4, 4, 4, 4});
+  const auto p = analysis::detect_plateau(tr, /*window=*/3);
+  ASSERT_TRUE(p.found);
+  EXPECT_EQ(p.settled_round, 3);
+  EXPECT_DOUBLE_EQ(p.plateau_value, 4.0);
+}
+
+TEST(ConvergenceTest, NoPlateauWhileImproving) {
+  // Strictly improving through the end: no round qualifies as settled.
+  const auto tr = synthetic({10, 9, 8, 7, 6, 5, 4, 3, 2, 1});
+  EXPECT_FALSE(analysis::detect_plateau(tr, /*window=*/3).found);
+}
+
+TEST(ConvergenceTest, ShortTraceNotFound) {
+  const auto tr = synthetic({5, 5});
+  EXPECT_FALSE(analysis::detect_plateau(tr, 3).found);
+}
+
+TEST(ConvergenceTest, DropRateGeometricSeries) {
+  // Φ halves each observation: rate 0.5 exactly.
+  const auto tr = synthetic({1, 1, 1, 1}, {16, 8, 4, 2});
+  EXPECT_NEAR(analysis::potential_drop_rate(tr, 0, 4), 0.5, 1e-12);
+}
+
+TEST(ConvergenceTest, DropRateInputValidation) {
+  const auto tr = synthetic({1, 1}, {4, 2});
+  EXPECT_THROW((void)analysis::potential_drop_rate(tr, 0, 3),
+               contract_violation);
+  EXPECT_THROW((void)analysis::potential_drop_rate(tr, 1, 2),
+               contract_violation);
+}
+
+TEST(ConvergenceTest, RoundsToReach) {
+  const auto tr = synthetic({9, 7, 3, 1});
+  EXPECT_EQ(analysis::rounds_to_reach(tr, 5.0), 2);
+  EXPECT_EQ(analysis::rounds_to_reach(tr, 0.5), -1);
+}
+
+TEST(ConvergenceTest, ContinuousFosContractsPotentialAtLambdaSquared) {
+  // [34]: each FOS round contracts Φ by at least λ². Measure the empirical
+  // per-round rate on a torus; it must be <= λ² + slack (the worst-case rate
+  // is attained only by the second eigenvector).
+  auto g = std::make_shared<const graph>(generators::torus_2d(6));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const real_t lambda = diffusion_lambda_dense(*g, s, alpha);
+
+  auto fos = make_fos(g, s, alpha);
+  std::vector<real_t> x0(static_cast<size_t>(g->num_nodes()), 0.0);
+  x0[0] = 3600;
+  fos->reset(x0);
+
+  analysis::run_trace tr;
+  for (round_t t = 0; t < 120; ++t) {
+    analysis::trace_row row;
+    row.round = t;
+    row.potential = potential(fos->loads(), s);
+    tr.record(row);
+    fos->step();
+  }
+  // Skip the first rounds (transient mixes many eigenvectors).
+  const real_t rate = analysis::potential_drop_rate(tr, 40, 120);
+  EXPECT_LE(rate, lambda * lambda + 1e-6);
+  EXPECT_GT(rate, 0.2);  // sanity: it does not collapse instantly
+}
+
+}  // namespace
+}  // namespace dlb

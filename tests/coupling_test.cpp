@@ -1,0 +1,130 @@
+// Footnote 1 of the paper: the discrete algorithm knows f^A because every
+// node can simulate the continuous process locally. That only works if the
+// internal simulation is bit-identical to an independently run copy — these
+// tests pin that coupling down for deterministic AND randomized schedules,
+// including across mid-run injections.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dlb/core/algorithm1.hpp"
+#include "dlb/core/algorithm2.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/graph/coloring.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+TEST(CouplingTest, InternalSimulationMatchesExternalCopyFos) {
+  auto g = make_g(generators::ring_of_cliques(3, 4));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const auto tokens = workload::uniform_random(g->num_nodes(), 240, 5);
+
+  algorithm1 alg(make_fos(g, s, alpha), task_assignment::tokens(tokens));
+  auto external = make_fos(g, s, alpha);
+  std::vector<real_t> x0(tokens.begin(), tokens.end());
+  external->reset(x0);
+
+  for (int t = 0; t < 100; ++t) {
+    alg.step();
+    external->step();
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      ASSERT_DOUBLE_EQ(alg.continuous().cumulative_flow(e),
+                       external->cumulative_flow(e));
+    }
+    for (node_id i = 0; i < g->num_nodes(); ++i) {
+      ASSERT_DOUBLE_EQ(alg.continuous().loads()[static_cast<size_t>(i)],
+                       external->loads()[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(CouplingTest, InternalSimulationMatchesExternalCopyRandomMatchings) {
+  // The randomized schedule derives matchings from (seed, t): an external
+  // clone must see the exact same sequence.
+  auto g = make_g(generators::hypercube(4));
+  const speed_vector s = uniform_speeds(16);
+  auto internal = make_random_matching_process(g, s, /*seed=*/77);
+  auto external = internal->clone_fresh();
+
+  const auto tokens = workload::point_mass(16, 0, 320);
+  algorithm2 alg(std::move(internal), tokens, /*seed=*/3);
+  std::vector<real_t> x0(tokens.begin(), tokens.end());
+  external->reset(x0);
+
+  for (int t = 0; t < 120; ++t) {
+    alg.step();
+    external->step();
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      ASSERT_DOUBLE_EQ(alg.continuous().cumulative_flow(e),
+                       external->cumulative_flow(e));
+    }
+  }
+}
+
+TEST(CouplingTest, InjectionKeepsCouplingWhenMirrored) {
+  // A copy that mirrors the same injections stays identical; one that does
+  // not must diverge.
+  auto g = make_g(generators::torus_2d(4));
+  const speed_vector s = uniform_speeds(16);
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const auto tokens = workload::uniform_random(16, 160, 9);
+
+  algorithm1 alg(make_fos(g, s, alpha), task_assignment::tokens(tokens));
+  auto mirrored = make_fos(g, s, alpha);
+  auto stale = make_fos(g, s, alpha);
+  std::vector<real_t> x0(tokens.begin(), tokens.end());
+  mirrored->reset(x0);
+  stale->reset(x0);
+
+  for (int t = 0; t < 50; ++t) {
+    if (t == 20) {
+      alg.inject_tokens(5, 40);
+      mirrored->inject_load(5, 40.0);
+      // `stale` deliberately skips the arrival.
+    }
+    alg.step();
+    mirrored->step();
+    stale->step();
+  }
+  bool stale_diverged = false;
+  for (node_id i = 0; i < 16; ++i) {
+    ASSERT_NEAR(alg.continuous().loads()[static_cast<size_t>(i)],
+                mirrored->loads()[static_cast<size_t>(i)], 1e-12);
+    if (std::abs(alg.continuous().loads()[static_cast<size_t>(i)] -
+                 stale->loads()[static_cast<size_t>(i)]) > 1e-9) {
+      stale_diverged = true;
+    }
+  }
+  EXPECT_TRUE(stale_diverged);
+}
+
+TEST(CouplingTest, PeriodicScheduleClonesShareTheColoring) {
+  auto g = make_g(generators::torus_2d(4));
+  const speed_vector s = uniform_speeds(16);
+  const edge_coloring c = misra_gries_edge_coloring(*g);
+  auto p1 = make_periodic_matching_process(g, s, to_matchings(*g, c));
+  auto p2 = p1->clone_fresh();
+  std::vector<real_t> x0(16, 1.0);
+  x0[3] = 100;
+  p1->reset(x0);
+  p2->reset(x0);
+  for (int t = 0; t < 60; ++t) {
+    p1->step();
+    p2->step();
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      ASSERT_DOUBLE_EQ(p1->cumulative_flow(e), p2->cumulative_flow(e));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,77 @@
+// Tests for α schemes and their validation.
+#include "dlb/core/diffusion_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlb/graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+using namespace dlb::generators;
+
+TEST(AlphaSchemeTest, HalfMaxDegreeValues) {
+  const graph g = star(5);  // hub degree 4, leaves 1
+  const std::vector<real_t> a = make_alphas(g, alpha_scheme::half_max_degree);
+  for (const real_t v : a) EXPECT_DOUBLE_EQ(v, 1.0 / 8.0);
+}
+
+TEST(AlphaSchemeTest, MaxDegreePlusOneValues) {
+  const graph g = path(4);  // interior degree 2
+  const std::vector<real_t> a =
+      make_alphas(g, alpha_scheme::max_degree_plus_one);
+  for (const real_t v : a) EXPECT_DOUBLE_EQ(v, 1.0 / 3.0);
+}
+
+TEST(AlphaSchemeTest, MixedDegreesUseMax) {
+  const graph g(3, {{0, 1}, {1, 2}});  // degrees 1,2,1
+  const std::vector<real_t> a = make_alphas(g, alpha_scheme::half_max_degree);
+  EXPECT_DOUBLE_EQ(a[0], 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(a[1], 1.0 / 4.0);
+}
+
+TEST(AlphaSchemeTest, SatisfiesStochasticityConstraint) {
+  for (const auto scheme :
+       {alpha_scheme::half_max_degree, alpha_scheme::max_degree_plus_one}) {
+    const graph g = random_regular(20, 5, 3);
+    const std::vector<real_t> a = make_alphas(g, scheme);
+    EXPECT_NO_THROW(
+        validate_alphas(g, uniform_speeds(g.num_nodes()), a));
+  }
+}
+
+TEST(AlphaValidationTest, RejectsWrongSize) {
+  const graph g = path(3);
+  EXPECT_THROW(validate_alphas(g, uniform_speeds(3), {0.1}),
+               contract_violation);
+}
+
+TEST(AlphaValidationTest, RejectsNonPositive) {
+  const graph g = path(3);
+  EXPECT_THROW(validate_alphas(g, uniform_speeds(3), {0.1, 0.0}),
+               contract_violation);
+  EXPECT_THROW(validate_alphas(g, uniform_speeds(3), {0.1, -0.2}),
+               contract_violation);
+}
+
+TEST(AlphaValidationTest, RejectsOverloadedNode) {
+  const graph g = star(4);  // hub degree 3
+  // Sum at hub = 1.2 >= s_hub = 1.
+  EXPECT_THROW(validate_alphas(g, uniform_speeds(4), {0.4, 0.4, 0.4}),
+               contract_violation);
+  // With speed 2 at the hub it is fine.
+  speed_vector s = uniform_speeds(4);
+  s[0] = 2;
+  EXPECT_NO_THROW(validate_alphas(g, s, {0.4, 0.4, 0.4}));
+}
+
+TEST(MatchingAlphaTest, EqualizesMakespans) {
+  // x_i' = s_i/(s_i+s_j)·(x_i+x_j): the α achieving it is s_i·s_j/(s_i+s_j).
+  EXPECT_DOUBLE_EQ(matching_alpha(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(matching_alpha(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(matching_alpha(1, 3), 0.75);
+  EXPECT_THROW((void)matching_alpha(0, 1), contract_violation);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,156 @@
+// Dynamic arrivals: injection plumbing, additivity of the flow imitators
+// under mid-run load, and the dynamic engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dlb/baselines/local_rounding.hpp"
+#include "dlb/core/algorithm1.hpp"
+#include "dlb/core/algorithm2.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/engine.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/core/metrics.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/arrival.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+std::unique_ptr<linear_process> fos_on(std::shared_ptr<const graph> g) {
+  return make_fos(g, uniform_speeds(g->num_nodes()),
+                  make_alphas(*g, alpha_scheme::half_max_degree));
+}
+
+TEST(ArrivalScheduleTest, UniformArrivalsDeterministicAndTotalled) {
+  workload::uniform_arrivals sched(10, 25, /*seed=*/3);
+  const auto a = sched.arrivals(5);
+  const auto b = sched.arrivals(5);
+  ASSERT_EQ(a.size(), b.size());
+  weight_t total = 0;
+  for (const auto& ar : a) {
+    EXPECT_GE(ar.node, 0);
+    EXPECT_LT(ar.node, 10);
+    EXPECT_GT(ar.count, 0);
+    total += ar.count;
+  }
+  EXPECT_EQ(total, 25);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].count, b[i].count);
+  }
+}
+
+TEST(ArrivalScheduleTest, BurstFiresOnPeriod) {
+  workload::burst_arrivals sched(/*target=*/2, /*burst=*/50, /*period=*/10);
+  EXPECT_EQ(sched.arrivals(0).size(), 1u);
+  EXPECT_TRUE(sched.arrivals(1).empty());
+  EXPECT_TRUE(sched.arrivals(9).empty());
+  ASSERT_EQ(sched.arrivals(20).size(), 1u);
+  EXPECT_EQ(sched.arrivals(20)[0].node, 2);
+  EXPECT_EQ(sched.arrivals(20)[0].count, 50);
+}
+
+TEST(ArrivalScheduleTest, NoArrivals) {
+  workload::no_arrivals sched;
+  EXPECT_TRUE(sched.arrivals(0).empty());
+  EXPECT_EQ(sched.name(), "none");
+}
+
+TEST(DynamicTest, InjectKeepsImitationErrorBounded) {
+  // Observation 4 must survive mid-run arrivals: injection lands in both the
+  // discrete pools and the internal continuous process, so |e| < w_max holds
+  // throughout (this is exactly the additivity argument).
+  auto g = make_g(generators::torus_2d(4));
+  algorithm1 alg(fos_on(g),
+                 task_assignment::tokens(workload::uniform_random(16, 320, 1)));
+  rng_t rng = make_rng(7);
+  for (int t = 0; t < 150; ++t) {
+    if (t % 5 == 0) {
+      alg.inject_tokens(uniform_int<node_id>(rng, 0, 15), 13);
+    }
+    alg.step();
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      ASSERT_LT(std::abs(alg.flow_error(e)), 1.0 + 1e-9);
+    }
+  }
+  // The continuous copy saw the same arrivals.
+  real_t cont_total = 0;
+  for (const real_t x : alg.continuous().loads()) cont_total += x;
+  weight_t disc_total = 0;
+  for (const weight_t x : alg.loads()) disc_total += x;
+  EXPECT_NEAR(cont_total,
+              static_cast<real_t>(disc_total - alg.dummy_created()), 1e-6);
+}
+
+TEST(DynamicTest, InjectWeightedTaskRespectsWmax) {
+  auto g = make_g(generators::path(3));
+  auto tasks = task_assignment::from_weights({{4, 4}, {}, {}});
+  algorithm1 alg(fos_on(g), std::move(tasks));
+  EXPECT_EQ(alg.wmax(), 4);
+  alg.inject_task(1, 3);
+  EXPECT_EQ(alg.loads()[1], 3);
+  EXPECT_THROW(alg.inject_task(1, 5), contract_violation);  // > w_max
+}
+
+TEST(DynamicTest, Algorithm2InjectMirrorsToContinuous) {
+  auto g = make_g(generators::cycle(8));
+  algorithm2 alg(fos_on(g), workload::point_mass(8, 0, 80), /*seed=*/5);
+  for (int t = 0; t < 10; ++t) alg.step();
+  alg.inject_tokens(4, 21);
+  for (int t = 0; t < 80; ++t) {
+    alg.step();
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      ASSERT_LT(std::abs(alg.flow_error(e)), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(DynamicTest, RunDynamicReportsArrivalTotals) {
+  auto g = make_g(generators::torus_2d(4));
+  algorithm1 alg(fos_on(g),
+                 task_assignment::tokens(
+                     workload::balanced_plus_spike(16, 10, 0, 0)));
+  workload::uniform_arrivals sched(16, 4, /*seed=*/2);
+  const dynamic_result r = run_dynamic(alg, sched, /*rounds=*/100);
+  EXPECT_EQ(r.rounds, 100);
+  EXPECT_EQ(r.total_arrived, 400);
+  EXPECT_GT(r.mean_max_min, 0.0);
+  EXPECT_GE(r.peak_max_min, r.mean_max_min);
+  weight_t total = 0;
+  for (const weight_t x : alg.real_loads()) total += x;
+  EXPECT_EQ(total, 16 * 10 + 400);
+}
+
+TEST(DynamicTest, SteadyStateDiscrepancyStaysBoundedUnderArrivals) {
+  // With modest uniform arrivals the flow imitator keeps the system near the
+  // theorem band: the time-average discrepancy in steady state stays O(d)
+  // plus the arrival skew per round.
+  auto g = make_g(generators::hypercube(4));
+  algorithm1 alg(fos_on(g),
+                 task_assignment::tokens(workload::add_speed_multiple(
+                     workload::point_mass(16, 0, 0), uniform_speeds(16), 8)));
+  workload::uniform_arrivals sched(16, 8, /*seed=*/11);
+  const dynamic_result r = run_dynamic(alg, sched, /*rounds=*/400);
+  EXPECT_LE(r.mean_max_min, 2.0 * 4 + 2.0 + 8.0);
+}
+
+TEST(DynamicTest, BaselineInjectionJustAddsLoad) {
+  auto g = make_g(generators::path(2));
+  local_rounding_process p(
+      g, uniform_speeds(2),
+      std::make_unique<diffusion_alpha_schedule>(
+          make_alphas(*g, alpha_scheme::half_max_degree)),
+      rounding_policy::round_down, {5, 5}, /*seed=*/1);
+  p.inject_tokens(0, 3);
+  EXPECT_EQ(p.loads(), (std::vector<weight_t>{8, 5}));
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,102 @@
+// Engine tests: balancing time semantics, experiment runner, caps, observers.
+#include "dlb/core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dlb/core/algorithm1.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+std::unique_ptr<linear_process> fos_on(std::shared_ptr<const graph> g) {
+  return make_fos(g, uniform_speeds(g->num_nodes()),
+                  make_alphas(*g, alpha_scheme::half_max_degree));
+}
+
+TEST(EngineTest, BalancingTimeOnCompleteGraphIsFast) {
+  auto g = make_g(generators::complete(8));
+  auto p = fos_on(g);
+  std::vector<real_t> x0(8, 0.0);
+  x0[0] = 80;
+  const auto bt = measure_balancing_time(*p, x0, 10000);
+  EXPECT_TRUE(bt.converged);
+  EXPECT_GT(bt.rounds, 0);
+  EXPECT_LT(bt.rounds, 50);
+  EXPECT_FALSE(bt.negative_load);
+}
+
+TEST(EngineTest, BalancingTimeDefinition) {
+  // After T, every node is within 1 of W·s_i/S; before T, some node is not.
+  auto g = make_g(generators::cycle(8));
+  auto p = fos_on(g);
+  std::vector<real_t> x0(8, 0.0);
+  x0[0] = 80;
+  const auto bt = measure_balancing_time(*p, x0, 100000);
+  ASSERT_TRUE(bt.converged);
+  EXPECT_TRUE(is_balanced(*p));
+
+  // Re-run one round short: must not yet be balanced.
+  auto q = fos_on(g);
+  q->reset(x0);
+  for (round_t t = 0; t + 1 < bt.rounds; ++t) q->step();
+  EXPECT_FALSE(is_balanced(*q));
+}
+
+TEST(EngineTest, CapReportsNonConvergence) {
+  auto g = make_g(generators::path(16));
+  auto p = fos_on(g);
+  std::vector<real_t> x0(16, 0.0);
+  x0[0] = 1600;
+  const auto bt = measure_balancing_time(*p, x0, 5);
+  EXPECT_FALSE(bt.converged);
+  EXPECT_EQ(bt.rounds, 5);
+}
+
+TEST(EngineTest, RunRoundsInvokesObserver) {
+  auto g = make_g(generators::path(2));
+  algorithm1 alg(fos_on(g), task_assignment::tokens({8, 0}));
+  std::vector<round_t> seen;
+  run_rounds(alg, 5, [&seen](round_t t, const discrete_process&) {
+    seen.push_back(t);
+  });
+  EXPECT_EQ(seen, (std::vector<round_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(EngineTest, RunExperimentReportsConsistentFields) {
+  auto g = make_g(generators::hypercube(3));
+  auto tokens = workload::add_speed_multiple(
+      workload::point_mass(8, 0, 80), uniform_speeds(8), 3);
+  algorithm1 alg(fos_on(g), task_assignment::tokens(tokens));
+  const experiment_result r =
+      run_experiment(alg, alg.continuous(), /*cap=*/100000);
+  EXPECT_TRUE(r.continuous_converged);
+  EXPECT_EQ(r.rounds, alg.rounds_executed());
+  EXPECT_EQ(r.final_loads, alg.loads());
+  EXPECT_EQ(r.dummy_created, alg.dummy_created());
+  EXPECT_GE(r.final_max_min, 0.0);
+  // Real + dummy accounting.
+  weight_t real_total = 0;
+  for (const weight_t x : r.final_real_loads) real_total += x;
+  EXPECT_EQ(real_total, 80 + 3 * 8);
+}
+
+TEST(EngineTest, IsBalancedToleranceRespected) {
+  auto g = make_g(generators::path(2));
+  auto p = fos_on(g);
+  p->reset({6.0, 4.0});  // avg 5, both within 1.0 → balanced at tol=1
+  EXPECT_TRUE(is_balanced(*p, 1.0));
+  EXPECT_FALSE(is_balanced(*p, 0.5));
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,88 @@
+// The excess-token baseline of [9]: conservation, non-negativity, convergence.
+#include "dlb/baselines/excess_tokens.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/metrics.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+excess_token_process make_proc(std::shared_ptr<const graph> g,
+                               std::vector<weight_t> tokens,
+                               std::uint64_t seed = 1) {
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  return excess_token_process(g, s, std::move(alpha), std::move(tokens),
+                              seed);
+}
+
+TEST(ExcessTokensTest, ConservesTokens) {
+  auto g = make_g(generators::hypercube(4));
+  auto p = make_proc(g, workload::point_mass(16, 0, 777));
+  for (int t = 0; t < 200; ++t) p.step();
+  weight_t total = 0;
+  for (const weight_t x : p.loads()) total += x;
+  EXPECT_EQ(total, 777);
+}
+
+TEST(ExcessTokensTest, NeverNegative) {
+  auto g = make_g(generators::star(10));
+  auto p = make_proc(g, workload::point_mass(10, 0, 55));
+  for (int t = 0; t < 300; ++t) {
+    p.step();
+    for (const weight_t x : p.loads()) ASSERT_GE(x, 0);
+  }
+}
+
+TEST(ExcessTokensTest, ConvergesOnExpander) {
+  auto g = make_g(generators::random_regular(32, 4, 19));
+  auto p = make_proc(g, workload::point_mass(32, 0, 3200), /*seed=*/3);
+  for (int t = 0; t < 500; ++t) p.step();
+  // [9] guarantees small constant discrepancy on expanders; be generous.
+  EXPECT_LT(max_min_discrepancy(p.loads(), p.speeds()), 15.0);
+}
+
+TEST(ExcessTokensTest, DeterministicGivenSeed) {
+  auto g = make_g(generators::torus_2d(4));
+  auto a = make_proc(g, workload::uniform_random(16, 320, 5), 42);
+  auto b = make_proc(g, workload::uniform_random(16, 320, 5), 42);
+  for (int t = 0; t < 50; ++t) {
+    a.step();
+    b.step();
+  }
+  EXPECT_EQ(a.loads(), b.loads());
+}
+
+TEST(ExcessTokensTest, FixedPointOnBalancedInput) {
+  // With an exactly divisible balanced load, every y_{i,j} has zero
+  // fractional part: no excess exists and floors move symmetric amounts.
+  auto g = make_g(generators::cycle(4));  // α = 1/4, x_i = 8 → y = 2 exact
+  auto p = make_proc(g, {8, 8, 8, 8});
+  for (int t = 0; t < 20; ++t) p.step();
+  EXPECT_EQ(p.loads(), (std::vector<weight_t>{8, 8, 8, 8}));
+}
+
+TEST(ExcessTokensTest, RejectsBadInput) {
+  auto g = make_g(generators::path(2));
+  const speed_vector s = uniform_speeds(2);
+  auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  EXPECT_THROW(excess_token_process(g, s, alpha, {1}, 0),
+               contract_violation);
+  EXPECT_THROW(excess_token_process(g, s, alpha, {1, -2}, 0),
+               contract_violation);
+  EXPECT_THROW(excess_token_process(g, s, {0.1, 0.2}, {1, 2}, 0),
+               contract_violation);  // wrong alpha arity (path(2) has 1 edge)
+}
+
+}  // namespace
+}  // namespace dlb

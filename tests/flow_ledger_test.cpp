@@ -1,0 +1,49 @@
+// Flow ledger orientation and bookkeeping tests.
+#include "dlb/core/flow_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlb/graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(FlowLedgerTest, OrientationAndAntisymmetry) {
+  const graph g = generators::path(3);  // edges 0:(0,1) 1:(1,2)
+  discrete_flow_ledger ledger(g);
+  ledger.record(0, /*from=*/0, 5);  // 0→1
+  EXPECT_EQ(ledger.forward(0), 5);
+  EXPECT_EQ(ledger.from(0, 0), 5);
+  EXPECT_EQ(ledger.from(0, 1), -5);
+
+  ledger.record(0, /*from=*/1, 2);  // 1→0 partially cancels
+  EXPECT_EQ(ledger.forward(0), 3);
+  EXPECT_EQ(ledger.from(0, 1), -3);
+}
+
+TEST(FlowLedgerTest, ResetZeroes) {
+  const graph g = generators::cycle(4);
+  continuous_flow_ledger ledger(g);
+  ledger.record(2, g.endpoints(2).v, 1.5);
+  EXPECT_LT(ledger.forward(2), 0);
+  ledger.reset();
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(ledger.forward(e), 0.0);
+  }
+}
+
+TEST(FlowLedgerTest, RejectsNegativeAmount) {
+  const graph g = generators::path(2);
+  discrete_flow_ledger ledger(g);
+  EXPECT_THROW(ledger.record(0, 0, -1), contract_violation);
+}
+
+TEST(FlowLedgerTest, RejectsNonEndpoint) {
+  const graph g = generators::path(3);
+  discrete_flow_ledger ledger(g);
+  EXPECT_THROW(ledger.record(0, 2, 1), contract_violation);
+  EXPECT_THROW((void)ledger.from(1, 0), contract_violation);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,164 @@
+// Tests for every graph family used by the paper's tables.
+#include "dlb/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb {
+namespace {
+
+using namespace dlb::generators;
+
+TEST(GeneratorsTest, Path) {
+  const graph g = path(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(4), 1);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.diameter(), 4);
+}
+
+TEST(GeneratorsTest, Cycle) {
+  const graph g = cycle(6);
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.num_edges(), 6);
+  for (node_id i = 0; i < 6; ++i) EXPECT_EQ(g.degree(i), 2);
+  EXPECT_EQ(g.diameter(), 3);
+}
+
+TEST(GeneratorsTest, Complete) {
+  const graph g = complete(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (node_id i = 0; i < 6; ++i) EXPECT_EQ(g.degree(i), 5);
+  EXPECT_EQ(g.diameter(), 1);
+}
+
+TEST(GeneratorsTest, Star) {
+  const graph g = star(7);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.degree(0), 6);
+  for (node_id i = 1; i < 7; ++i) EXPECT_EQ(g.degree(i), 1);
+}
+
+TEST(GeneratorsTest, HypercubeStructure) {
+  for (int dim = 1; dim <= 6; ++dim) {
+    const graph g = hypercube(dim);
+    EXPECT_EQ(g.num_nodes(), 1 << dim);
+    EXPECT_EQ(g.num_edges(), dim * (1 << (dim - 1)));
+    for (node_id i = 0; i < g.num_nodes(); ++i) EXPECT_EQ(g.degree(i), dim);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_EQ(g.diameter(), dim);
+  }
+}
+
+TEST(GeneratorsTest, HypercubeNeighborsDifferInOneBit) {
+  const graph g = hypercube(4);
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    const node_id x = ed.u ^ ed.v;
+    EXPECT_EQ(x & (x - 1), 0) << "not a power of two";
+    EXPECT_NE(x, 0);
+  }
+}
+
+TEST(GeneratorsTest, Torus2d) {
+  const graph g = torus_2d(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_EQ(g.num_edges(), 32);
+  for (node_id i = 0; i < 16; ++i) EXPECT_EQ(g.degree(i), 4);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GeneratorsTest, TorusHigherDim) {
+  const graph g = torus(3, 3);  // 3x3x3
+  EXPECT_EQ(g.num_nodes(), 27);
+  for (node_id i = 0; i < 27; ++i) EXPECT_EQ(g.degree(i), 6);
+}
+
+TEST(GeneratorsTest, GridUnwrapped) {
+  const graph g = grid({3, 4}, /*wrap=*/false);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(GeneratorsTest, GridWrapRequiresSideAtLeast3) {
+  EXPECT_THROW(grid({2, 3}, /*wrap=*/true), contract_violation);
+  EXPECT_NO_THROW(grid({2, 3}, /*wrap=*/false));
+}
+
+TEST(GeneratorsTest, RandomRegularIsRegularAndConnected) {
+  for (const node_id d : {3, 4, 6}) {
+    const graph g = random_regular(64, d, /*seed=*/7);
+    EXPECT_EQ(g.num_nodes(), 64);
+    for (node_id i = 0; i < 64; ++i) EXPECT_EQ(g.degree(i), d);
+    EXPECT_TRUE(g.is_connected());
+  }
+}
+
+TEST(GeneratorsTest, RandomRegularDeterministicInSeed) {
+  const graph a = random_regular(32, 3, 42);
+  const graph b = random_regular(32, 3, 42);
+  EXPECT_EQ(a.edges().size(), b.edges().size());
+  for (edge_id e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.endpoints(e), b.endpoints(e));
+  }
+}
+
+TEST(GeneratorsTest, RandomRegularRejectsOddProduct) {
+  EXPECT_THROW(random_regular(5, 3, 1), contract_violation);
+}
+
+TEST(GeneratorsTest, ErdosRenyiConnected) {
+  const graph g = erdos_renyi_connected(50, 0.15, 3);
+  EXPECT_EQ(g.num_nodes(), 50);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GeneratorsTest, RingOfCliques) {
+  const graph g = ring_of_cliques(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20);
+  // Each clique has C(5,2)=10 edges plus 4 bridges.
+  EXPECT_EQ(g.num_edges(), 4 * 10 + 4);
+  EXPECT_TRUE(g.is_connected());
+  // Bridge endpoints have degree 5 (4 clique + 1 bridge), interior nodes 4.
+  EXPECT_EQ(g.max_degree(), 5);
+}
+
+TEST(GeneratorsTest, Lollipop) {
+  const graph g = lollipop(5, 4);
+  EXPECT_EQ(g.num_nodes(), 9);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(8), 1);  // end of the path
+}
+
+TEST(GeneratorsTest, Barbell) {
+  const graph g = barbell(4, 2);
+  EXPECT_EQ(g.num_nodes(), 10);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GeneratorsTest, CompleteBinaryTree) {
+  const graph g = complete_binary_tree(4);
+  EXPECT_EQ(g.num_nodes(), 15);
+  EXPECT_EQ(g.num_edges(), 14);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.max_degree(), 3);
+}
+
+TEST(GeneratorsTest, PreconditionViolations) {
+  EXPECT_THROW(path(1), contract_violation);
+  EXPECT_THROW(cycle(2), contract_violation);
+  EXPECT_THROW(complete(1), contract_violation);
+  EXPECT_THROW(hypercube(0), contract_violation);
+  EXPECT_THROW(ring_of_cliques(2, 5), contract_violation);
+  EXPECT_THROW(ring_of_cliques(3, 2), contract_violation);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,123 @@
+// Structural property sweep over every generator: CSR consistency, handshake
+// lemma, edge-id bijection, neighbor symmetry, sorted normalized edges.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dlb/graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+using namespace dlb::generators;
+
+graph make_case(int which) {
+  switch (which) {
+    case 0:
+      return path(17);
+    case 1:
+      return cycle(13);
+    case 2:
+      return complete(9);
+    case 3:
+      return star(14);
+    case 4:
+      return hypercube(5);
+    case 5:
+      return torus_2d(5);
+    case 6:
+      return torus(3, 3);
+    case 7:
+      return grid({4, 5}, false);
+    case 8:
+      return random_regular(26, 3, 5);
+    case 9:
+      return random_regular(20, 6, 6);
+    case 10:
+      return erdos_renyi_connected(30, 0.2, 7);
+    case 11:
+      return ring_of_cliques(5, 4);
+    case 12:
+      return lollipop(6, 5);
+    case 13:
+      return barbell(4, 3);
+    default:
+      return complete_binary_tree(5);
+  }
+}
+
+class GraphPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphPropertyTest, HandshakeLemma) {
+  const graph g = make_case(GetParam());
+  std::int64_t degree_sum = 0;
+  for (node_id i = 0; i < g.num_nodes(); ++i) degree_sum += g.degree(i);
+  EXPECT_EQ(degree_sum, 2 * static_cast<std::int64_t>(g.num_edges()));
+}
+
+TEST_P(GraphPropertyTest, EdgeIdsAreABijection) {
+  const graph g = make_case(GetParam());
+  std::set<std::pair<node_id, node_id>> seen;
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    EXPECT_LT(ed.u, ed.v);
+    EXPECT_TRUE(seen.emplace(ed.u, ed.v).second) << "duplicate edge id";
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(g.num_edges()));
+}
+
+TEST_P(GraphPropertyTest, AdjacencyMatchesEdgeList) {
+  const graph g = make_case(GetParam());
+  // Each edge appears in exactly the two endpoint adjacency lists, with the
+  // correct edge id and opposite endpoints.
+  std::vector<int> appearances(static_cast<size_t>(g.num_edges()), 0);
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    for (const incidence& inc : g.neighbors(i)) {
+      const edge& ed = g.endpoints(inc.edge);
+      EXPECT_TRUE((ed.u == i && ed.v == inc.neighbor) ||
+                  (ed.v == i && ed.u == inc.neighbor));
+      ++appearances[static_cast<size_t>(inc.edge)];
+    }
+  }
+  for (const int cnt : appearances) EXPECT_EQ(cnt, 2);
+}
+
+TEST_P(GraphPropertyTest, NeighborSymmetry) {
+  const graph g = make_case(GetParam());
+  for (node_id i = 0; i < g.num_nodes(); ++i) {
+    for (const incidence& inc : g.neighbors(i)) {
+      bool found = false;
+      for (const incidence& back : g.neighbors(inc.neighbor)) {
+        if (back.neighbor == i && back.edge == inc.edge) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "asymmetric adjacency at node " << i;
+    }
+  }
+}
+
+TEST_P(GraphPropertyTest, EdgesSortedByEndpoints) {
+  const graph g = make_case(GetParam());
+  for (edge_id e = 1; e < g.num_edges(); ++e) {
+    const edge& a = g.endpoints(e - 1);
+    const edge& b = g.endpoints(e);
+    EXPECT_TRUE(a.u < b.u || (a.u == b.u && a.v < b.v));
+  }
+}
+
+TEST_P(GraphPropertyTest, FindEdgeAgreesWithAdjacency) {
+  const graph g = make_case(GetParam());
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    const edge& ed = g.endpoints(e);
+    EXPECT_EQ(g.find_edge(ed.u, ed.v), e);
+    EXPECT_EQ(g.find_edge(ed.v, ed.u), e);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GraphPropertyTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace dlb

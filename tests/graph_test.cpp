@@ -1,0 +1,115 @@
+// Unit tests for the core graph type.
+#include "dlb/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb {
+namespace {
+
+graph triangle() { return graph(3, {{0, 1}, {1, 2}, {0, 2}}); }
+
+TEST(GraphTest, BasicCounts) {
+  const graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.max_degree(), 2);
+  for (node_id i = 0; i < 3; ++i) EXPECT_EQ(g.degree(i), 2);
+}
+
+TEST(GraphTest, EndpointNormalization) {
+  // Edges given in reversed order are normalized to u < v.
+  const graph g(3, {{1, 0}, {2, 1}, {2, 0}});
+  for (edge_id e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LT(g.endpoints(e).u, g.endpoints(e).v);
+  }
+}
+
+TEST(GraphTest, EdgesSortedAndStable) {
+  const graph g(4, {{3, 2}, {0, 1}, {1, 3}});
+  ASSERT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.endpoints(0), (edge{0, 1}));
+  EXPECT_EQ(g.endpoints(1), (edge{1, 3}));
+  EXPECT_EQ(g.endpoints(2), (edge{2, 3}));
+}
+
+TEST(GraphTest, NeighborsContainEdgeIds) {
+  const graph g = triangle();
+  for (node_id i = 0; i < 3; ++i) {
+    for (const incidence& inc : g.neighbors(i)) {
+      const edge& ed = g.endpoints(inc.edge);
+      EXPECT_TRUE((ed.u == i && ed.v == inc.neighbor) ||
+                  (ed.v == i && ed.u == inc.neighbor));
+    }
+  }
+}
+
+TEST(GraphTest, OtherEndpoint) {
+  const graph g = triangle();
+  const edge_id e = g.find_edge(0, 2);
+  ASSERT_NE(e, invalid_edge);
+  EXPECT_EQ(g.other_endpoint(e, 0), 2);
+  EXPECT_EQ(g.other_endpoint(e, 2), 0);
+  EXPECT_THROW((void)g.other_endpoint(e, 1), contract_violation);
+}
+
+TEST(GraphTest, FindEdge) {
+  const graph g(4, {{0, 1}, {1, 2}});
+  EXPECT_NE(g.find_edge(0, 1), invalid_edge);
+  EXPECT_NE(g.find_edge(1, 0), invalid_edge);
+  EXPECT_EQ(g.find_edge(0, 2), invalid_edge);
+  EXPECT_EQ(g.find_edge(0, 3), invalid_edge);
+  EXPECT_EQ(g.find_edge(2, 2), invalid_edge);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  EXPECT_THROW(graph(2, {{0, 0}}), contract_violation);
+}
+
+TEST(GraphTest, RejectsDuplicateEdge) {
+  EXPECT_THROW(graph(3, {{0, 1}, {1, 0}}), contract_violation);
+  EXPECT_THROW(graph(3, {{0, 1}, {0, 1}}), contract_violation);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(graph(2, {{0, 2}}), contract_violation);
+  EXPECT_THROW(graph(2, {{-1, 1}}), contract_violation);
+}
+
+TEST(GraphTest, RejectsNonPositiveNodeCount) {
+  EXPECT_THROW(graph(0, {}), contract_violation);
+}
+
+TEST(GraphTest, Connectivity) {
+  EXPECT_TRUE(triangle().is_connected());
+  const graph disconnected(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(disconnected.is_connected());
+  const graph single(1, {});
+  EXPECT_TRUE(single.is_connected());
+}
+
+TEST(GraphTest, Diameter) {
+  EXPECT_EQ(triangle().diameter(), 1);
+  const graph p4(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(p4.diameter(), 3);
+}
+
+TEST(GraphTest, DegreeBoundsChecked) {
+  const graph g = triangle();
+  EXPECT_THROW((void)g.degree(-1), contract_violation);
+  EXPECT_THROW((void)g.degree(3), contract_violation);
+  EXPECT_THROW((void)g.neighbors(3), contract_violation);
+  EXPECT_THROW((void)g.endpoints(5), contract_violation);
+}
+
+TEST(GraphTest, IsolatedNodeHasZeroDegree) {
+  const graph g(3, {{0, 1}});
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+}  // namespace
+}  // namespace dlb

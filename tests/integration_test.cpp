@@ -1,0 +1,191 @@
+// End-to-end integration tests across the full stack: graphs + spectra +
+// continuous processes + discretizations + baselines + metrics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dlb/baselines/local_rounding.hpp"
+#include "dlb/core/algorithm1.hpp"
+#include "dlb/core/algorithm2.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/engine.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/core/metrics.hpp"
+#include "dlb/graph/coloring.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/graph/spectral.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+TEST(IntegrationTest, HeterogeneousWeightedClusterEndToEnd) {
+  // The paper's most general setting in one scenario: low-expansion graph,
+  // weighted tasks (w_max = 6), heterogeneous speeds, FOS via Algorithm 1.
+  auto g = make_g(generators::ring_of_cliques(4, 5));
+  const node_id n = g->num_nodes();
+  const weight_t d = g->max_degree();
+  const weight_t wmax = 6;
+  const speed_vector s = workload::random_speeds(n, 4, /*seed=*/100);
+
+  const auto xprime = workload::zipf(n, 4000, 1.0, /*seed=*/101);
+  const auto loads = workload::add_speed_multiple(xprime, s, d * wmax);
+  auto tasks = workload::decompose_uniform_weights(loads, wmax, /*seed=*/102);
+
+  auto proc = make_fos(g, s, make_alphas(*g, alpha_scheme::half_max_degree));
+  algorithm1 alg(std::move(proc), std::move(tasks),
+                 {.removal = removal_policy::real_first,
+                  .wmax_override = wmax});
+  const experiment_result r =
+      run_experiment(alg, alg.continuous(), /*cap=*/500000);
+
+  ASSERT_TRUE(r.continuous_converged);
+  EXPECT_EQ(r.dummy_created, 0);
+  EXPECT_LE(r.final_max_min, 2.0 * static_cast<real_t>(d * wmax) + 2.0);
+}
+
+TEST(IntegrationTest, Algorithm1BeatsRoundDownOnLowExpansionGraph) {
+  // Table 1's headline: round-down final discrepancy depends on 1/(1-λ),
+  // flow imitation's does not. On a ring of cliques the gap is wide.
+  auto g = make_g(generators::ring_of_cliques(6, 5));
+  const node_id n = g->num_nodes();
+  const speed_vector s = uniform_speeds(n);
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const auto tokens = workload::add_speed_multiple(
+      workload::point_mass(n, 0, 100 * n), s, g->max_degree());
+
+  algorithm1 alg(make_fos(g, s, alpha), task_assignment::tokens(tokens));
+  const experiment_result r_alg =
+      run_experiment(alg, alg.continuous(), 500000);
+  ASSERT_TRUE(r_alg.continuous_converged);
+
+  local_rounding_process down(
+      g, s, std::make_unique<diffusion_alpha_schedule>(alpha),
+      rounding_policy::round_down, tokens, /*seed=*/1);
+  run_rounds(down, r_alg.rounds);
+
+  const real_t disc_alg = r_alg.final_max_min;
+  const real_t disc_down = max_min_discrepancy(down.loads(), s);
+  EXPECT_LE(disc_alg, 2.0 * static_cast<real_t>(g->max_degree()) + 2.0);
+  EXPECT_GT(disc_down, disc_alg);
+}
+
+TEST(IntegrationTest, Algorithm2OnRandomMatchingsHypercube) {
+  auto g = make_g(generators::hypercube(6));  // n=64, d=6
+  const node_id n = g->num_nodes();
+  const auto tokens = workload::add_speed_multiple(
+      workload::uniform_random(n, 50 * n, /*seed=*/7), uniform_speeds(n),
+      20);
+  auto proc = make_random_matching_process(g, uniform_speeds(n), /*seed=*/8);
+  algorithm2 alg(std::move(proc), tokens, /*seed=*/9);
+  const experiment_result r =
+      run_experiment(alg, alg.continuous(), 500000);
+  ASSERT_TRUE(r.continuous_converged);
+  EXPECT_EQ(r.dummy_created, 0);
+  EXPECT_LE(r.final_max_min, 2.0 * 6 + 2.0);
+}
+
+TEST(IntegrationTest, SosDiscretizationWhenWellBehaved) {
+  // SOS with a modest β on an expander from a near-balanced start does not
+  // induce negative load, so Theorem 3 applies to its discretization too.
+  auto g = make_g(generators::random_regular(32, 4, 23));
+  const node_id n = g->num_nodes();
+  const speed_vector s = uniform_speeds(n);
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+
+  const auto tokens = workload::add_speed_multiple(
+      workload::balanced_plus_spike(n, 50, 0, 200), s, 4);
+  auto sos = make_sos(g, s, alpha, 1.3);
+  algorithm1 alg(std::move(sos), task_assignment::tokens(tokens));
+  const experiment_result r =
+      run_experiment(alg, alg.continuous(), 500000);
+  ASSERT_TRUE(r.continuous_converged);
+  if (!r.continuous_negative_load) {
+    EXPECT_EQ(r.dummy_created, 0);
+    EXPECT_LE(r.final_max_min, 2.0 * 4 + 2.0);
+  }
+}
+
+TEST(IntegrationTest, BalancingTimeTracksSpectralPrediction) {
+  // T should grow roughly like 1/(1-λ) for FOS: the ring of cliques (λ close
+  // to 1) takes far longer than the expander (λ bounded away from 1).
+  auto fast_g = make_g(generators::random_regular(48, 4, 29));
+  auto slow_g = make_g(generators::ring_of_cliques(12, 4));
+  for (auto& [g, expect_slow] :
+       {std::pair{fast_g, false}, std::pair{slow_g, true}}) {
+    const node_id n = g->num_nodes();
+    auto p = make_fos(g, uniform_speeds(n),
+                      make_alphas(*g, alpha_scheme::half_max_degree));
+    std::vector<real_t> x0(static_cast<size_t>(n), 0.0);
+    x0[0] = static_cast<real_t>(100 * n);
+    const auto bt = measure_balancing_time(*p, x0, 1000000);
+    ASSERT_TRUE(bt.converged);
+    if (expect_slow) {
+      EXPECT_GT(bt.rounds, 500);
+    } else {
+      EXPECT_LT(bt.rounds, 500);
+    }
+  }
+}
+
+TEST(IntegrationTest, Theorem3BoundPersistsBeyondBalancingTime) {
+  // Theorem 3 claims the bound "for all t >= T^A": run to 2T and 4T and
+  // re-check (the discrete process keeps imitating a converged continuous
+  // process, so the bound cannot regress).
+  auto g = make_g(generators::torus_2d(6));
+  const node_id n = g->num_nodes();
+  const speed_vector s = uniform_speeds(n);
+  const auto tokens = workload::add_speed_multiple(
+      workload::point_mass(n, 0, 60 * n), s, 4);
+
+  auto probe = make_fos(g, s, make_alphas(*g, alpha_scheme::half_max_degree));
+  std::vector<real_t> x0(tokens.begin(), tokens.end());
+  const auto bt = measure_balancing_time(*probe, x0, 500000);
+  ASSERT_TRUE(bt.converged);
+
+  algorithm1 alg(make_fos(g, s, make_alphas(*g, alpha_scheme::half_max_degree)),
+                 task_assignment::tokens(tokens));
+  run_rounds(alg, bt.rounds);
+  const real_t at_T = max_min_discrepancy(alg.real_loads(), s);
+  run_rounds(alg, bt.rounds);  // now at 2T
+  const real_t at_2T = max_min_discrepancy(alg.real_loads(), s);
+  run_rounds(alg, 2 * bt.rounds);  // now at 4T
+  const real_t at_4T = max_min_discrepancy(alg.real_loads(), s);
+
+  const real_t bound = 2.0 * 4 + 2.0;
+  EXPECT_LE(at_T, bound);
+  EXPECT_LE(at_2T, bound);
+  EXPECT_LE(at_4T, bound);
+  EXPECT_EQ(alg.dummy_created(), 0);
+}
+
+TEST(IntegrationTest, PeriodicVersusRandomMatchingsBothConverge) {
+  auto g = make_g(generators::torus_2d(6));
+  const node_id n = g->num_nodes();
+  const speed_vector s = uniform_speeds(n);
+  const auto tokens = workload::add_speed_multiple(
+      workload::point_mass(n, 0, 40 * n), s, 4);
+
+  const edge_coloring c = misra_gries_edge_coloring(*g);
+  algorithm1 periodic(
+      make_periodic_matching_process(g, s, to_matchings(*g, c)),
+      task_assignment::tokens(tokens));
+  const auto r_p = run_experiment(periodic, periodic.continuous(), 500000);
+
+  algorithm1 random(make_random_matching_process(g, s, /*seed=*/31),
+                    task_assignment::tokens(tokens));
+  const auto r_r = run_experiment(random, random.continuous(), 500000);
+
+  for (const auto& r : {r_p, r_r}) {
+    ASSERT_TRUE(r.continuous_converged);
+    EXPECT_EQ(r.dummy_created, 0);
+    EXPECT_LE(r.final_max_min, 2.0 * 4 + 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace dlb

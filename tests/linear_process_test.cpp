@@ -1,0 +1,249 @@
+// Continuous process tests: FOS/SOS/matching dynamics, conservation, flow
+// bookkeeping, negative-load detection, cloning/coupling.
+#include "dlb/core/linear_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/engine.hpp"
+#include "dlb/core/metrics.hpp"
+#include "dlb/graph/coloring.hpp"
+#include "dlb/graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+std::unique_ptr<linear_process> fos_on(std::shared_ptr<const graph> g,
+                                       speed_vector s = {}) {
+  if (s.empty()) s = uniform_speeds(g->num_nodes());
+  auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  return make_fos(g, std::move(s), std::move(alpha));
+}
+
+TEST(FosTest, ConservesTotalLoad) {
+  auto g = make_g(generators::torus_2d(4));
+  auto p = fos_on(g);
+  std::vector<real_t> x0(16, 0.0);
+  x0[0] = 160;
+  p->reset(x0);
+  for (int t = 0; t < 50; ++t) p->step();
+  real_t total = 0;
+  for (const real_t xi : p->loads()) total += xi;
+  EXPECT_NEAR(total, 160.0, 1e-9);
+}
+
+TEST(FosTest, ConvergesToUniformAverage) {
+  auto g = make_g(generators::hypercube(4));
+  auto p = fos_on(g);
+  std::vector<real_t> x0(16, 0.0);
+  x0[3] = 320;
+  p->reset(x0);
+  for (int t = 0; t < 400; ++t) p->step();
+  for (const real_t xi : p->loads()) EXPECT_NEAR(xi, 20.0, 1e-3);
+}
+
+TEST(FosTest, ConvergesToSpeedProportionalShare) {
+  auto g = make_g(generators::cycle(6));
+  speed_vector s = {1, 2, 3, 1, 2, 3};
+  auto p = fos_on(g, s);
+  std::vector<real_t> x0(6, 0.0);
+  x0[0] = 240;  // W=240, S=12 → per-speed share 20
+  p->reset(x0);
+  for (int t = 0; t < 5000; ++t) p->step();
+  for (node_id i = 0; i < 6; ++i) {
+    EXPECT_NEAR(p->loads()[static_cast<size_t>(i)],
+                20.0 * static_cast<real_t>(s[static_cast<size_t>(i)]), 1e-3);
+  }
+}
+
+TEST(FosTest, CumulativeFlowAccountsForLoadChange) {
+  // x_i(t) = x_i(0) - Σ_e ±f_e(t): the ledger exactly explains the loads.
+  auto g = make_g(generators::ring_of_cliques(3, 4));
+  auto p = fos_on(g);
+  std::vector<real_t> x0(static_cast<size_t>(g->num_nodes()), 1.0);
+  x0[5] = 101;
+  p->reset(x0);
+  for (int t = 0; t < 37; ++t) p->step();
+  for (node_id i = 0; i < g->num_nodes(); ++i) {
+    real_t outflow = 0;
+    for (const incidence& inc : g->neighbors(i)) {
+      const edge& ed = g->endpoints(inc.edge);
+      const real_t f = p->cumulative_flow(inc.edge);
+      outflow += (ed.u == i) ? f : -f;
+    }
+    EXPECT_NEAR(p->loads()[static_cast<size_t>(i)],
+                x0[static_cast<size_t>(i)] - outflow, 1e-9);
+  }
+}
+
+TEST(FosTest, NeverDetectsNegativeLoad) {
+  auto g = make_g(generators::star(8));
+  auto p = fos_on(g);
+  std::vector<real_t> x0(8, 0.0);
+  x0[0] = 1000;
+  p->reset(x0);
+  for (int t = 0; t < 200; ++t) p->step();
+  EXPECT_FALSE(p->negative_load_detected());
+}
+
+TEST(FosTest, StepBeforeResetThrows) {
+  auto g = make_g(generators::path(3));
+  auto p = fos_on(g);
+  EXPECT_THROW(p->step(), contract_violation);
+}
+
+TEST(FosTest, ResetRejectsBadVectors) {
+  auto g = make_g(generators::path(3));
+  auto p = fos_on(g);
+  EXPECT_THROW(p->reset({1.0, 2.0}), contract_violation);
+  EXPECT_THROW(p->reset({1.0, -2.0, 0.0}), contract_violation);
+}
+
+TEST(SosTest, OptimalBetaFormula) {
+  EXPECT_NEAR(optimal_sos_beta(0.0), 1.0, 1e-12);
+  // λ→1 pushes β→2.
+  EXPECT_GT(optimal_sos_beta(0.99), 1.7);
+  EXPECT_LE(optimal_sos_beta(0.999999), 2.0);
+  EXPECT_THROW((void)optimal_sos_beta(1.0), contract_violation);
+  EXPECT_THROW((void)optimal_sos_beta(-0.1), contract_violation);
+}
+
+TEST(SosTest, ConvergesFasterThanFosOnPoorExpander) {
+  auto g = make_g(generators::ring_of_cliques(6, 4));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const real_t lambda = diffusion_lambda_dense(*g, s, alpha);
+  ASSERT_LT(lambda, 1.0);
+
+  std::vector<real_t> x0(static_cast<size_t>(g->num_nodes()), 0.0);
+  x0[0] = 2400;
+
+  auto fos = make_fos(g, s, alpha);
+  auto sos = make_sos(g, s, alpha, optimal_sos_beta(lambda));
+  const auto t_fos = measure_balancing_time(*fos, x0, 100000);
+  const auto t_sos = measure_balancing_time(*sos, x0, 100000);
+  ASSERT_TRUE(t_fos.converged);
+  ASSERT_TRUE(t_sos.converged);
+  EXPECT_LT(t_sos.rounds, t_fos.rounds);
+}
+
+TEST(SosTest, CanInduceNegativeLoad) {
+  // β near 2 with a very unbalanced start overshoots on a path.
+  auto g = make_g(generators::path(8));
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  auto sos = make_sos(g, uniform_speeds(8), alpha, 1.98);
+  std::vector<real_t> x0(8, 0.0);
+  x0[0] = 100;
+  sos->reset(x0);
+  for (int t = 0; t < 200 && !sos->negative_load_detected(); ++t) sos->step();
+  EXPECT_TRUE(sos->negative_load_detected());
+}
+
+TEST(SosTest, BetaOneEqualsFos) {
+  auto g = make_g(generators::cycle(5));
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  auto fos = make_fos(g, uniform_speeds(5), alpha);
+  auto sos = make_sos(g, uniform_speeds(5), alpha, 1.0);
+  std::vector<real_t> x0 = {9, 1, 4, 0, 6};
+  fos->reset(x0);
+  sos->reset(x0);
+  for (int t = 0; t < 30; ++t) {
+    fos->step();
+    sos->step();
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(fos->loads()[i], sos->loads()[i], 1e-12);
+  }
+}
+
+TEST(MatchingProcessTest, EqualizesMatchedPairMakespans) {
+  auto g = make_g(generators::path(2));
+  speed_vector s = {1, 3};
+  auto p = make_periodic_matching_process(g, s, {{0}});
+  p->reset({8.0, 0.0});
+  p->step();
+  // Makespans equalized: x0/1 == x1/3, total 8 → x0=2, x1=6.
+  EXPECT_NEAR(p->loads()[0], 2.0, 1e-12);
+  EXPECT_NEAR(p->loads()[1], 6.0, 1e-12);
+}
+
+TEST(MatchingProcessTest, PeriodicScheduleCyclesThroughColors) {
+  auto g = make_g(generators::cycle(4));
+  const edge_coloring c = misra_gries_edge_coloring(*g);
+  auto p = make_periodic_matching_process(
+      g, uniform_speeds(4), to_matchings(*g, c));
+  p->reset({40.0, 0.0, 0.0, 0.0});
+  for (int t = 0; t < 500; ++t) p->step();
+  for (const real_t xi : p->loads()) EXPECT_NEAR(xi, 10.0, 1e-6);
+}
+
+TEST(MatchingProcessTest, RandomMatchingConverges) {
+  auto g = make_g(generators::hypercube(3));
+  auto p = make_random_matching_process(g, uniform_speeds(8), /*seed=*/17);
+  p->reset({80.0, 0, 0, 0, 0, 0, 0, 0});
+  for (int t = 0; t < 600; ++t) p->step();
+  for (const real_t xi : p->loads()) EXPECT_NEAR(xi, 10.0, 1e-6);
+}
+
+TEST(MatchingProcessTest, OnlyMatchedEdgesCarryFlow) {
+  auto g = make_g(generators::cycle(5));
+  auto p = make_random_matching_process(g, uniform_speeds(5), /*seed=*/23);
+  std::vector<real_t> x0 = {50, 0, 0, 0, 0};
+  p->reset(x0);
+  p->step();
+  const matching m = random_maximal_matching(*g, 23, 0);
+  std::vector<char> in_m(static_cast<size_t>(g->num_edges()), 0);
+  for (const edge_id e : m) in_m[static_cast<size_t>(e)] = 1;
+  for (edge_id e = 0; e < g->num_edges(); ++e) {
+    if (!in_m[static_cast<size_t>(e)]) {
+      EXPECT_EQ(p->last_flows()[static_cast<size_t>(e)].forward, 0.0);
+      EXPECT_EQ(p->last_flows()[static_cast<size_t>(e)].backward, 0.0);
+    }
+  }
+}
+
+TEST(CloneTest, ClonedRandomMatchingProcessesAreCoupled) {
+  auto g = make_g(generators::random_regular(16, 3, 5));
+  auto p1 = make_random_matching_process(g, uniform_speeds(16), /*seed=*/9);
+  auto p2 = p1->clone_fresh();
+  std::vector<real_t> x0(16, 1.0);
+  x0[7] = 33;
+  p1->reset(x0);
+  p2->reset(x0);
+  for (int t = 0; t < 40; ++t) {
+    p1->step();
+    p2->step();
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(p1->loads()[i], p2->loads()[i]);
+  }
+}
+
+TEST(CloneTest, CloneIsFreshNotMidRun) {
+  auto g = make_g(generators::cycle(4));
+  auto p = fos_on(g);
+  p->reset({4, 0, 0, 0});
+  p->step();
+  auto q = p->clone_fresh();
+  EXPECT_EQ(q->rounds_executed(), 0);
+  EXPECT_THROW(q->step(), contract_violation);  // needs reset first
+}
+
+TEST(BalancedStartTest, IsBalancedImmediately) {
+  auto g = make_g(generators::torus_2d(3));
+  auto p = fos_on(g);
+  const auto bt =
+      measure_balancing_time(*p, std::vector<real_t>(9, 5.0), 1000);
+  EXPECT_TRUE(bt.converged);
+  EXPECT_EQ(bt.rounds, 0);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,118 @@
+// Task-origin tracking and the locality metric (the intro's "tasks stay
+// close to their initial location" claim, made measurable).
+#include "dlb/analysis/locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dlb/core/algorithm1.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/engine.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+TEST(LocalityTest, OriginsRecordedByBuilders) {
+  const task_assignment a = task_assignment::tokens({2, 0, 1});
+  EXPECT_EQ(a.pool(0).real_task_origins(),
+            (std::vector<node_id>{0, 0}));
+  EXPECT_EQ(a.pool(2).real_task_origins(), (std::vector<node_id>{2}));
+}
+
+TEST(LocalityTest, UntouchedAssignmentHasZeroDisplacement) {
+  const graph g = generators::cycle(6);
+  const task_assignment a = task_assignment::tokens({3, 3, 3, 3, 3, 3});
+  const auto stats = analysis::task_locality(g, a);
+  EXPECT_EQ(stats.tasks, 18u);
+  EXPECT_DOUBLE_EQ(stats.mean_distance, 0.0);
+  EXPECT_EQ(stats.max_distance, 0);
+  EXPECT_DOUBLE_EQ(stats.stationary_fraction, 1.0);
+}
+
+TEST(LocalityTest, ManualMoveMeasured) {
+  const graph g = generators::path(4);  // distances along the line
+  task_assignment a(4);
+  a.pool(3).add_real(1, /*origin=*/0);  // one task moved 0 → 3
+  a.pool(1).add_real(1, /*origin=*/1);  // one stayed
+  const auto stats = analysis::task_locality(g, a);
+  EXPECT_EQ(stats.tasks, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_distance, 1.5);
+  EXPECT_EQ(stats.max_distance, 3);
+  EXPECT_DOUBLE_EQ(stats.stationary_fraction, 0.5);
+}
+
+TEST(LocalityTest, UntrackedOriginsSkipped) {
+  const graph g = generators::path(2);
+  task_assignment a(2);
+  a.pool(0).add_real(5);  // origin defaulted to invalid_node
+  a.pool(1).add_real(2, 1);
+  const auto stats = analysis::task_locality(g, a);
+  EXPECT_EQ(stats.tasks, 1u);
+}
+
+TEST(LocalityTest, MeanPairwiseDistanceClosedForms) {
+  // K_n: (n-1)/n. C_4: (0+1+2+1)/4 = 1.
+  EXPECT_DOUBLE_EQ(analysis::mean_pairwise_distance(generators::complete(5)),
+                   4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(analysis::mean_pairwise_distance(generators::cycle(4)),
+                   1.0);
+}
+
+TEST(LocalityTest, OriginsSurviveAlgorithm1Transfers) {
+  // Total origin-tracked weight is conserved through a run, and every
+  // origin histogram entry matches the initial assignment.
+  auto g = make_g(generators::torus_2d(4));
+  const auto loads = workload::uniform_random(16, 160, 3);
+  algorithm1 alg(
+      make_fos(g, uniform_speeds(16),
+               make_alphas(*g, alpha_scheme::half_max_degree)),
+      task_assignment::tokens(loads));
+  for (int t = 0; t < 60; ++t) alg.step();
+
+  std::vector<weight_t> per_origin(16, 0);
+  for (node_id i = 0; i < 16; ++i) {
+    const auto& pool = alg.tasks().pool(i);
+    const auto& ws = pool.real_task_weights();
+    const auto& os = pool.real_task_origins();
+    ASSERT_EQ(ws.size(), os.size());
+    for (std::size_t k = 0; k < ws.size(); ++k) {
+      ASSERT_NE(os[k], invalid_node);
+      per_origin[static_cast<size_t>(os[k])] += ws[k];
+    }
+  }
+  for (node_id i = 0; i < 16; ++i) {
+    EXPECT_EQ(per_origin[static_cast<size_t>(i)],
+              loads[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(LocalityTest, NeighbourhoodBalancingStaysLocalOnSpike) {
+  // Balanced-plus-spike start: the bulk of the pre-balanced tasks should not
+  // move at all, and mean displacement stays well below the graph's mean
+  // pairwise distance (the cost of arbitrary reassignment).
+  auto g = make_g(generators::torus_2d(8));
+  const node_id n = g->num_nodes();
+  const auto loads = workload::balanced_plus_spike(n, 50, 0, 300);
+  algorithm1 alg(
+      make_fos(g, uniform_speeds(n),
+               make_alphas(*g, alpha_scheme::half_max_degree)),
+      task_assignment::tokens(loads));
+  const auto r = run_experiment(alg, alg.continuous(), 500000);
+  ASSERT_TRUE(r.continuous_converged);
+
+  const auto stats = analysis::task_locality(*g, alg.tasks());
+  const real_t baseline = analysis::mean_pairwise_distance(*g);
+  EXPECT_GT(stats.stationary_fraction, 0.5);
+  EXPECT_LT(stats.mean_distance, baseline);
+}
+
+}  // namespace
+}  // namespace dlb

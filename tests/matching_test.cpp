@@ -1,0 +1,82 @@
+// Random maximal matching tests.
+#include "dlb/graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dlb/graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+using namespace dlb::generators;
+
+TEST(MatchingTest, IsMatchingAcceptsValid) {
+  const graph g = cycle(6);
+  EXPECT_TRUE(is_matching(g, {}));
+  EXPECT_TRUE(is_matching(g, {0}));
+}
+
+TEST(MatchingTest, IsMatchingRejectsSharedNode) {
+  const graph g = path(3);  // edges 0:(0,1), 1:(1,2)
+  EXPECT_FALSE(is_matching(g, {0, 1}));
+}
+
+TEST(MatchingTest, IsMatchingRejectsBadEdgeId) {
+  const graph g = path(3);
+  EXPECT_FALSE(is_matching(g, {7}));
+  EXPECT_FALSE(is_matching(g, {-1}));
+}
+
+TEST(MatchingTest, RandomMaximalIsValidAndMaximal) {
+  const graph g = random_regular(40, 4, 9);
+  for (std::uint64_t r = 0; r < 20; ++r) {
+    const matching m = random_maximal_matching(g, /*seed=*/1, r);
+    EXPECT_TRUE(is_matching(g, m));
+    // Maximality: no remaining edge has both endpoints free.
+    std::vector<char> used(static_cast<size_t>(g.num_nodes()), 0);
+    for (const edge_id e : m) {
+      used[static_cast<size_t>(g.endpoints(e).u)] = 1;
+      used[static_cast<size_t>(g.endpoints(e).v)] = 1;
+    }
+    for (edge_id e = 0; e < g.num_edges(); ++e) {
+      const edge& ed = g.endpoints(e);
+      EXPECT_TRUE(used[static_cast<size_t>(ed.u)] ||
+                  used[static_cast<size_t>(ed.v)])
+          << "matching not maximal at edge " << e;
+    }
+  }
+}
+
+TEST(MatchingTest, DeterministicInSeedAndRound) {
+  const graph g = hypercube(4);
+  const matching a = random_maximal_matching(g, 5, 3);
+  const matching b = random_maximal_matching(g, 5, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MatchingTest, DifferentRoundsDiffer) {
+  const graph g = hypercube(5);
+  std::set<matching> distinct;
+  for (std::uint64_t r = 0; r < 10; ++r) {
+    distinct.insert(random_maximal_matching(g, 5, r));
+  }
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(MatchingTest, EveryEdgeEventuallyMatched) {
+  // Over many rounds each edge of a small graph should appear at least once
+  // (probability >= 1/(2d) per round).
+  const graph g = cycle(7);
+  std::vector<int> hits(static_cast<size_t>(g.num_edges()), 0);
+  for (std::uint64_t r = 0; r < 200; ++r) {
+    for (const edge_id e : random_maximal_matching(g, 3, r)) {
+      ++hits[static_cast<size_t>(e)];
+    }
+  }
+  for (const int h : hits) EXPECT_GT(h, 0);
+}
+
+}  // namespace
+}  // namespace dlb

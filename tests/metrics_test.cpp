@@ -1,0 +1,79 @@
+// Metric definitions (paper §1, §3), including the heterogeneous-speed forms.
+#include "dlb/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dlb {
+namespace {
+
+TEST(MetricsTest, MakespanUniformSpeeds) {
+  const std::vector<weight_t> x = {3, 9, 6};
+  const speed_vector s = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(makespan(x, s), 9.0);
+  EXPECT_DOUBLE_EQ(min_makespan(x, s), 3.0);
+  EXPECT_DOUBLE_EQ(max_min_discrepancy(x, s), 6.0);
+  EXPECT_DOUBLE_EQ(average_makespan(x, s), 6.0);
+  EXPECT_DOUBLE_EQ(max_avg_discrepancy(x, s), 3.0);
+}
+
+TEST(MetricsTest, MakespanWithSpeeds) {
+  // Loads (10, 10), speeds (1, 5): makespans 10 and 2.
+  const std::vector<weight_t> x = {10, 10};
+  const speed_vector s = {1, 5};
+  EXPECT_DOUBLE_EQ(makespan(x, s), 10.0);
+  EXPECT_DOUBLE_EQ(min_makespan(x, s), 2.0);
+  // W/S = 20/6.
+  EXPECT_DOUBLE_EQ(average_makespan(x, s), 20.0 / 6.0);
+}
+
+TEST(MetricsTest, RealVectorOverload) {
+  const std::vector<real_t> x = {1.5, 2.5};
+  const speed_vector s = {1, 1};
+  EXPECT_DOUBLE_EQ(makespan(x, s), 2.5);
+  EXPECT_DOUBLE_EQ(max_min_discrepancy(x, s), 1.0);
+}
+
+TEST(MetricsTest, PotentialUniform) {
+  // x = (0, 4), balanced (2, 2): Φ = 4 + 4 = 8.
+  const std::vector<weight_t> x = {0, 4};
+  const speed_vector s = {1, 1};
+  EXPECT_DOUBLE_EQ(potential(x, s), 8.0);
+}
+
+TEST(MetricsTest, PotentialSpeedWeighted) {
+  // x = (6, 0), s = (1, 2): balanced share is (2, 4); Φ = 16 + 16 = 32.
+  const std::vector<weight_t> x = {6, 0};
+  const speed_vector s = {1, 2};
+  EXPECT_DOUBLE_EQ(potential(x, s), 32.0);
+}
+
+TEST(MetricsTest, PotentialZeroAtBalance) {
+  const std::vector<weight_t> x = {2, 4, 6};
+  const speed_vector s = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(potential(x, s), 0.0);
+  EXPECT_DOUBLE_EQ(max_min_discrepancy(x, s), 0.0);
+}
+
+TEST(MetricsTest, NegativeLoadsHandled) {
+  // Baselines can drive loads negative; metrics must still be well-defined.
+  const std::vector<weight_t> x = {-2, 6};
+  const speed_vector s = {1, 1};
+  EXPECT_DOUBLE_EQ(max_min_discrepancy(x, s), 8.0);
+  EXPECT_DOUBLE_EQ(average_makespan(x, s), 2.0);
+}
+
+TEST(MetricsTest, TotalLoad) {
+  EXPECT_EQ(total_load(std::vector<weight_t>{1, 2, 3}), 6);
+  EXPECT_DOUBLE_EQ(total_load(std::vector<real_t>{0.5, 1.5}), 2.0);
+}
+
+TEST(MetricsTest, SizeMismatchThrows) {
+  const std::vector<weight_t> x = {1, 2};
+  const speed_vector s = {1};
+  EXPECT_THROW((void)makespan(x, s), contract_violation);
+  const std::vector<weight_t> empty;
+  EXPECT_THROW((void)makespan(empty, s), contract_violation);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,89 @@
+// Observation 9, executed, for Algorithm 2:
+//  (1) E_{i,j}(t) = y_{i,j}-y_{j,i} + E_{i,j}(t-1) - (Y_{i,j}-Y_{j,i})
+//      — equivalently the ledger identity E = f^A - F^D, checked as the
+//      recurrence across rounds;
+//  (2) at most one direction of an edge sends in a round;
+//  (3) post-round E is {Ŷ}-1 or {Ŷ}, i.e. E ∈ (-1, 1), and its expectation
+//      is zero — checked empirically over many seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dlb/core/algorithm2.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+std::unique_ptr<linear_process> fos_on(std::shared_ptr<const graph> g) {
+  return make_fos(g, uniform_speeds(g->num_nodes()),
+                  make_alphas(*g, alpha_scheme::half_max_degree));
+}
+
+TEST(Observation9Test, ErrorRecurrenceAcrossRounds) {
+  auto g = make_g(generators::torus_2d(4));
+  algorithm2 alg(fos_on(g), workload::uniform_random(16, 480, 3), /*seed=*/5);
+
+  std::vector<real_t> prev_error(static_cast<size_t>(g->num_edges()), 0.0);
+  std::vector<weight_t> prev_fd(static_cast<size_t>(g->num_edges()), 0);
+  std::vector<real_t> prev_fa(static_cast<size_t>(g->num_edges()), 0.0);
+
+  for (int t = 0; t < 80; ++t) {
+    alg.step();
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      // Reconstruct this round's continuous and discrete per-edge deltas.
+      const real_t ya = alg.continuous().cumulative_flow(e) -
+                        prev_fa[static_cast<size_t>(e)];
+      const weight_t yd =
+          alg.discrete_flow(e) - prev_fd[static_cast<size_t>(e)];
+      const real_t expected =
+          ya + prev_error[static_cast<size_t>(e)] - static_cast<real_t>(yd);
+      ASSERT_NEAR(alg.flow_error(e), expected, 1e-9)
+          << "edge " << e << " round " << t;
+      prev_error[static_cast<size_t>(e)] = alg.flow_error(e);
+      prev_fa[static_cast<size_t>(e)] = alg.continuous().cumulative_flow(e);
+      prev_fd[static_cast<size_t>(e)] = alg.discrete_flow(e);
+    }
+  }
+}
+
+TEST(Observation9Test, ErrorMeanIsNearZeroOverSeeds) {
+  // Ex[E_{i,j}(t)] = 0: average the post-run error of a fixed edge over many
+  // independent seeds; the mean must be near zero (|mean| << 1).
+  auto g = make_g(generators::hypercube(4));
+  const auto tokens = workload::uniform_random(16, 640, 9);
+  real_t mean = 0;
+  const int seeds = 200;
+  const edge_id probe = 7;
+  for (int sd = 1; sd <= seeds; ++sd) {
+    algorithm2 alg(fos_on(g), tokens, static_cast<std::uint64_t>(sd));
+    for (int t = 0; t < 25; ++t) alg.step();
+    mean += alg.flow_error(probe) / seeds;
+  }
+  EXPECT_LT(std::abs(mean), 0.12);  // ~N(0, 0.3/sqrt(200)) band
+}
+
+TEST(Observation9Test, ErrorAlwaysStrictlyInsideUnitBall) {
+  auto g = make_g(generators::ring_of_cliques(3, 4));
+  for (std::uint64_t sd = 1; sd <= 5; ++sd) {
+    algorithm2 alg(fos_on(g), workload::point_mass(12, 0, 600), sd);
+    for (int t = 0; t < 60; ++t) {
+      alg.step();
+      for (edge_id e = 0; e < g->num_edges(); ++e) {
+        ASSERT_GT(alg.flow_error(e), -1.0);
+        ASSERT_LT(alg.flow_error(e), 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlb

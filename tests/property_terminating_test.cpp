@@ -1,0 +1,125 @@
+// Property test for Definition 2 / Lemma 1: every shipped continuous process
+// is *terminating* — started from a perfectly balanced vector ℓ·(s_1..s_n),
+// no edge ever carries net flow and the loads never change.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/graph/coloring.hpp"
+#include "dlb/graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+enum class process_kind { fos, sos, periodic_matching, random_matching };
+
+std::string kind_name(process_kind k) {
+  switch (k) {
+    case process_kind::fos:
+      return "fos";
+    case process_kind::sos:
+      return "sos";
+    case process_kind::periodic_matching:
+      return "periodic";
+    case process_kind::random_matching:
+      return "random";
+  }
+  return "?";
+}
+
+std::shared_ptr<const graph> make_case_graph(int which) {
+  switch (which) {
+    case 0:
+      return std::make_shared<const graph>(generators::torus_2d(4));
+    case 1:
+      return std::make_shared<const graph>(generators::complete(6));
+    default:
+      return std::make_shared<const graph>(generators::lollipop(4, 3));
+  }
+}
+
+std::unique_ptr<linear_process> build(process_kind k,
+                                      std::shared_ptr<const graph> g,
+                                      speed_vector s) {
+  switch (k) {
+    case process_kind::fos:
+      return make_fos(g, std::move(s),
+                      make_alphas(*g, alpha_scheme::max_degree_plus_one));
+    case process_kind::sos:
+      return make_sos(g, std::move(s),
+                      make_alphas(*g, alpha_scheme::max_degree_plus_one),
+                      1.7);
+    case process_kind::periodic_matching: {
+      const edge_coloring c = greedy_edge_coloring(*g);
+      return make_periodic_matching_process(g, std::move(s),
+                                            to_matchings(*g, c));
+    }
+    case process_kind::random_matching:
+      return make_random_matching_process(g, std::move(s), /*seed=*/77);
+  }
+  return nullptr;
+}
+
+using terminating_params = std::tuple<process_kind, int, bool, int>;
+
+class TerminatingTest : public ::testing::TestWithParam<terminating_params> {};
+
+TEST_P(TerminatingTest, BalancedVectorIsFixedPoint) {
+  const auto [kind, graph_case, hetero, ell] = GetParam();
+  auto g = make_case_graph(graph_case);
+  speed_vector s = uniform_speeds(g->num_nodes());
+  if (hetero) {
+    for (std::size_t i = 0; i < s.size(); ++i) s[i] = 1 + (i % 3);
+  }
+
+  std::vector<real_t> x0(static_cast<size_t>(g->num_nodes()));
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    x0[i] = static_cast<real_t>(ell) * static_cast<real_t>(s[i]);
+  }
+
+  auto a = build(kind, g, s);
+  a->reset(x0);
+  for (int t = 0; t < 50; ++t) {
+    a->step();
+    // Net flow over every edge is zero every round...
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      const auto& y = a->last_flows()[static_cast<size_t>(e)];
+      ASSERT_NEAR(y.forward - y.backward, 0.0, 1e-9)
+          << kind_name(kind) << " edge " << e << " round " << t;
+      ASSERT_NEAR(a->cumulative_flow(e), 0.0, 1e-9);
+    }
+    // ...and the load vector never moves.
+    for (std::size_t i = 0; i < x0.size(); ++i) {
+      ASSERT_NEAR(a->loads()[i], x0[i], 1e-9);
+    }
+  }
+  // Definition 1 subtlety: SOS gross per-edge flows converge to
+  // α·ℓ·β/(2-β) even in equilibrium, so for large β the *gross* outgoing
+  // demand can exceed a node's load although the net transfer is zero. The
+  // paper flags SOS as the only process that may induce negative load; all
+  // other processes must never trip the detector.
+  if (kind != process_kind::sos) {
+    EXPECT_FALSE(a->negative_load_detected());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProcessesAllGraphs, TerminatingTest,
+    ::testing::Combine(
+        ::testing::Values(process_kind::fos, process_kind::sos,
+                          process_kind::periodic_matching,
+                          process_kind::random_matching),
+        ::testing::Range(0, 3), ::testing::Bool(),
+        ::testing::Values(0, 1, 8)),
+    [](const ::testing::TestParamInfo<terminating_params>& info) {
+      return kind_name(std::get<0>(info.param)) + "_g" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_hetero" : "_uniform") + "_ell" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace dlb

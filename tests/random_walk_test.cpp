@@ -1,0 +1,130 @@
+// The two-phase random-walk balancer of [19]: phase transitions, the
+// load = α + positive - negative invariant, annihilation, convergence.
+#include "dlb/baselines/random_walk_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/metrics.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+random_walk_balancer make_rw(std::shared_ptr<const graph> g,
+                             std::vector<weight_t> tokens,
+                             random_walk_config cfg,
+                             std::uint64_t seed = 1) {
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  return random_walk_balancer(g, s, std::move(alpha), std::move(tokens),
+                              seed, cfg);
+}
+
+TEST(RandomWalkTest, PhaseTransition) {
+  auto g = make_g(generators::hypercube(4));
+  auto p = make_rw(g, workload::point_mass(16, 0, 1600),
+                   {.phase1_rounds = 50, .slack = 1, .laziness = 0.5});
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_FALSE(p.in_fine_phase());
+    p.step();
+  }
+  EXPECT_TRUE(p.in_fine_phase());
+  EXPECT_EQ(p.positive_tokens() + p.negative_tokens(), 0);  // not marked yet
+  p.step();  // first fine round marks and walks
+  EXPECT_TRUE(p.in_fine_phase());
+}
+
+TEST(RandomWalkTest, ConservesLoad) {
+  auto g = make_g(generators::torus_2d(4));
+  auto p = make_rw(g, workload::point_mass(16, 0, 800),
+                   {.phase1_rounds = 30, .slack = 1, .laziness = 0.5});
+  for (int t = 0; t < 200; ++t) {
+    p.step();
+    weight_t total = 0;
+    for (const weight_t x : p.loads()) total += x;
+    ASSERT_EQ(total, 800) << "round " << t;
+  }
+}
+
+TEST(RandomWalkTest, WalkerLoadInvariant) {
+  // After marking: loads_i = α + positive_i - negative_i at every node.
+  auto g = make_g(generators::random_regular(24, 3, 7));
+  auto p = make_rw(g, workload::uniform_random(24, 24 * 40, 5),
+                   {.phase1_rounds = 20, .slack = 2, .laziness = 0.5});
+  for (int t = 0; t < 20; ++t) p.step();
+  // Enter fine phase; check the invariant for many rounds. Reconstruct α
+  // from totals (= ⌈m/n⌉ + slack).
+  const weight_t alpha_threshold = (24 * 40 + 23) / 24 + 2;
+  for (int t = 0; t < 150; ++t) {
+    p.step();
+    // Totals invariant: Σ loads = Σ (α + pos - neg) → pos - neg = m - n·α.
+    ASSERT_EQ(p.positive_tokens() - p.negative_tokens(),
+              24 * 40 - 24 * alpha_threshold);
+  }
+}
+
+TEST(RandomWalkTest, WalkersAnnihilateOverTime) {
+  auto g = make_g(generators::random_regular(32, 4, 11));
+  auto p = make_rw(g, workload::point_mass(32, 0, 3200),
+                   {.phase1_rounds = 100, .slack = 1, .laziness = 0.5});
+  for (int t = 0; t < 101; ++t) p.step();
+  const weight_t walkers_start = p.positive_tokens() + p.negative_tokens();
+  for (int t = 0; t < 2000; ++t) p.step();
+  const weight_t walkers_end = p.positive_tokens() + p.negative_tokens();
+  EXPECT_LT(walkers_end, walkers_start);
+}
+
+TEST(RandomWalkTest, ReachesLowDiscrepancyOnExpander) {
+  auto g = make_g(generators::random_regular(32, 4, 13));
+  auto p = make_rw(g, workload::point_mass(32, 0, 3200),
+                   {.phase1_rounds = 150, .slack = 1, .laziness = 0.5},
+                   /*seed=*/3);
+  for (int t = 0; t < 4000; ++t) p.step();
+  // [19]: constant final discrepancy; be generous but meaningful.
+  EXPECT_LE(max_min_discrepancy(p.loads(), p.speeds()), 8.0);
+}
+
+TEST(RandomWalkTest, DeterministicGivenSeed) {
+  auto g = make_g(generators::cycle(12));
+  auto a = make_rw(g, workload::point_mass(12, 0, 240),
+                   {.phase1_rounds = 10, .slack = 1, .laziness = 0.5}, 9);
+  auto b = make_rw(g, workload::point_mass(12, 0, 240),
+                   {.phase1_rounds = 10, .slack = 1, .laziness = 0.5}, 9);
+  for (int t = 0; t < 120; ++t) {
+    a.step();
+    b.step();
+  }
+  EXPECT_EQ(a.loads(), b.loads());
+}
+
+TEST(RandomWalkTest, RequiresUniformSpeeds) {
+  auto g = make_g(generators::path(3));
+  speed_vector s = {1, 2, 1};
+  auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  EXPECT_THROW(random_walk_balancer(g, s, alpha, {1, 1, 1}, 0, {}),
+               contract_violation);
+}
+
+TEST(RandomWalkTest, InjectDuringFinePhaseKeepsInvariant) {
+  auto g = make_g(generators::torus_2d(4));
+  auto p = make_rw(g, workload::balanced_plus_spike(16, 20, 0, 160),
+                   {.phase1_rounds = 5, .slack = 1, .laziness = 0.5});
+  for (int t = 0; t < 30; ++t) p.step();  // well into fine phase
+  const weight_t before = p.positive_tokens();
+  p.inject_tokens(3, 7);
+  EXPECT_EQ(p.positive_tokens(), before + 7);
+  weight_t total = 0;
+  for (const weight_t x : p.loads()) total += x;
+  EXPECT_EQ(total, 16 * 20 + 160 + 7);
+}
+
+}  // namespace
+}  // namespace dlb

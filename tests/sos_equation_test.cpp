@@ -1,0 +1,120 @@
+// The SOS round equation (paper §2.1, footnote 2):
+//     x(t+1) = β·x(t)·P + (1-β)·x(t-1)
+// must hold for the flow-level implementation (eq. (4)); and FOS must obey
+// x(t+1) = x(t)·P. These tests multiply the dense diffusion matrix directly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/graph/spectral.hpp"
+
+namespace dlb {
+namespace {
+
+std::vector<real_t> times_matrix(const std::vector<real_t>& x,
+                                 const std::vector<real_t>& p, node_id n) {
+  // Row vector times matrix: (xP)_j = Σ_i x_i P_{i,j}.
+  std::vector<real_t> out(static_cast<size_t>(n), 0.0);
+  for (node_id i = 0; i < n; ++i) {
+    for (node_id j = 0; j < n; ++j) {
+      out[static_cast<size_t>(j)] +=
+          x[static_cast<size_t>(i)] *
+          p[static_cast<size_t>(i) * static_cast<size_t>(n) +
+            static_cast<size_t>(j)];
+    }
+  }
+  return out;
+}
+
+class SosEquationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SosEquationTest, RoundEquationHolds) {
+  const real_t beta = GetParam();
+  auto g = std::make_shared<const graph>(generators::ring_of_cliques(3, 4));
+  const node_id n = g->num_nodes();
+  speed_vector s(static_cast<size_t>(n));
+  for (node_id i = 0; i < n; ++i) s[static_cast<size_t>(i)] = 1 + (i % 3);
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const auto p = dense_diffusion_matrix(*g, s, alpha);
+
+  auto sos = make_sos(g, s, alpha, beta);
+  std::vector<real_t> x0(static_cast<size_t>(n), 2.0);
+  x0[0] = 150;
+  sos->reset(x0);
+
+  std::vector<real_t> x_prev = x0;        // x(t-1)
+  sos->step();                            // round 0: x(1) = x(0)·P
+  std::vector<real_t> x_cur = sos->loads();
+  {
+    const auto expected = times_matrix(x0, p, n);
+    for (node_id i = 0; i < n; ++i) {
+      ASSERT_NEAR(x_cur[static_cast<size_t>(i)],
+                  expected[static_cast<size_t>(i)], 1e-9);
+    }
+  }
+
+  for (int t = 1; t < 40; ++t) {
+    sos->step();
+    const auto xp = times_matrix(x_cur, p, n);
+    for (node_id i = 0; i < n; ++i) {
+      const real_t expected = beta * xp[static_cast<size_t>(i)] +
+                              (1.0 - beta) * x_prev[static_cast<size_t>(i)];
+      ASSERT_NEAR(sos->loads()[static_cast<size_t>(i)], expected, 1e-8)
+          << "beta=" << beta << " t=" << t << " i=" << i;
+    }
+    x_prev = x_cur;
+    x_cur = sos->loads();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, SosEquationTest,
+                         ::testing::Values(1.0, 1.2, 1.5, 1.8, 2.0));
+
+TEST(FosEquationTest, MatrixFormMatchesFlowForm) {
+  auto g = std::make_shared<const graph>(generators::torus_2d(3));
+  const node_id n = g->num_nodes();
+  const speed_vector s = uniform_speeds(n);
+  const auto alpha = make_alphas(*g, alpha_scheme::max_degree_plus_one);
+  const auto p = dense_diffusion_matrix(*g, s, alpha);
+
+  auto fos = make_fos(g, s, alpha);
+  std::vector<real_t> x(static_cast<size_t>(n), 1.0);
+  x[4] = 82;
+  fos->reset(x);
+  for (int t = 0; t < 30; ++t) {
+    fos->step();
+    x = times_matrix(x, p, n);
+    for (node_id i = 0; i < n; ++i) {
+      ASSERT_NEAR(fos->loads()[static_cast<size_t>(i)],
+                  x[static_cast<size_t>(i)], 1e-9);
+    }
+  }
+}
+
+TEST(FosEquationTest, StationaryDistributionIsSpeedProportional) {
+  // π = (s_1/S .. s_n/S) satisfies πP = π: the speed-proportional allocation
+  // is the fixed point.
+  auto g = std::make_shared<const graph>(generators::lollipop(4, 3));
+  const node_id n = g->num_nodes();
+  speed_vector s(static_cast<size_t>(n));
+  for (node_id i = 0; i < n; ++i) s[static_cast<size_t>(i)] = 1 + (i % 4);
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const auto p = dense_diffusion_matrix(*g, s, alpha);
+
+  std::vector<real_t> pi(static_cast<size_t>(n));
+  for (node_id i = 0; i < n; ++i) {
+    pi[static_cast<size_t>(i)] = static_cast<real_t>(s[static_cast<size_t>(i)]);
+  }
+  const auto pi_p = times_matrix(pi, p, n);
+  for (node_id i = 0; i < n; ++i) {
+    ASSERT_NEAR(pi_p[static_cast<size_t>(i)], pi[static_cast<size_t>(i)],
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,118 @@
+// The second-order dimension-exchange hybrid (β over a periodic matching
+// schedule): Lemma 1's generality in action. Verifies the additive and
+// terminating properties directly and discretizes it with Algorithm 1.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dlb/core/algorithm1.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/engine.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/core/metrics.hpp"
+#include "dlb/graph/coloring.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::unique_ptr<linear_process> make_hybrid(std::shared_ptr<const graph> g,
+                                            speed_vector s, real_t beta) {
+  const edge_coloring c = misra_gries_edge_coloring(*g);
+  return make_sos_periodic_matching_process(g, std::move(s),
+                                            to_matchings(*g, c), beta);
+}
+
+TEST(SosMatchingTest, TerminatingOnBalancedVector) {
+  auto g = std::make_shared<const graph>(generators::hypercube(4));
+  speed_vector s(16, 1);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = 1 + (i % 2);
+  auto p = make_hybrid(g, s, 1.4);
+  std::vector<real_t> x0(16);
+  for (std::size_t i = 0; i < 16; ++i) x0[i] = 6.0 * static_cast<real_t>(s[i]);
+  p->reset(x0);
+  for (int t = 0; t < 40; ++t) {
+    p->step();
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      ASSERT_NEAR(p->cumulative_flow(e), 0.0, 1e-9);
+    }
+    for (std::size_t i = 0; i < 16; ++i) {
+      ASSERT_NEAR(p->loads()[i], x0[i], 1e-9);
+    }
+  }
+}
+
+TEST(SosMatchingTest, AdditiveUnderCoupledRuns) {
+  auto g = std::make_shared<const graph>(generators::torus_2d(4));
+  const speed_vector s = uniform_speeds(16);
+  auto a = make_hybrid(g, s, 1.5);
+  auto a1 = a->clone_fresh();
+  auto a2 = a->clone_fresh();
+
+  std::vector<real_t> xp(16), xpp(16, 4.0), x(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    xp[i] = static_cast<real_t>((i * 7) % 13);
+    x[i] = xp[i] + xpp[i];
+  }
+  a->reset(x);
+  a1->reset(xp);
+  a2->reset(xpp);
+  for (int t = 0; t < 50; ++t) {
+    a->step();
+    a1->step();
+    a2->step();
+    if (a->negative_load_detected() || a1->negative_load_detected() ||
+        a2->negative_load_detected()) {
+      GTEST_SKIP() << "negative load: additivity precondition violated";
+    }
+    for (std::size_t i = 0; i < 16; ++i) {
+      ASSERT_NEAR(a->loads()[i], a1->loads()[i] + a2->loads()[i], 1e-9);
+    }
+  }
+}
+
+TEST(SosMatchingTest, ConvergesToBalance) {
+  auto g = std::make_shared<const graph>(generators::torus_2d(5));
+  auto p = make_hybrid(g, uniform_speeds(25), 1.3);
+  std::vector<real_t> x0(25, 0.0);
+  x0[0] = 2500;
+  const auto bt = measure_balancing_time(*p, x0, 100000);
+  EXPECT_TRUE(bt.converged);
+}
+
+TEST(SosMatchingTest, DiscretizesUnderAlgorithm1) {
+  auto g = std::make_shared<const graph>(generators::hypercube(4));
+  const speed_vector s = uniform_speeds(16);
+  const auto tokens = workload::add_speed_multiple(
+      workload::point_mass(16, 0, 800), s, 4);
+  algorithm1 alg(make_hybrid(g, s, 1.3), task_assignment::tokens(tokens));
+  const auto r = run_experiment(alg, alg.continuous(), 200000);
+  ASSERT_TRUE(r.continuous_converged);
+  if (!r.continuous_negative_load) {
+    EXPECT_EQ(r.dummy_created, 0);
+    EXPECT_LE(r.final_max_min, 2.0 * 4 + 2.0);
+  }
+}
+
+TEST(SosMatchingTest, BetaOneMatchesPlainDimensionExchange) {
+  auto g = std::make_shared<const graph>(generators::cycle(6));
+  const speed_vector s = uniform_speeds(6);
+  const edge_coloring c = misra_gries_edge_coloring(*g);
+  auto plain = make_periodic_matching_process(g, s, to_matchings(*g, c));
+  auto hybrid =
+      make_sos_periodic_matching_process(g, s, to_matchings(*g, c), 1.0);
+  std::vector<real_t> x0 = {30, 0, 12, 0, 7, 0};
+  plain->reset(x0);
+  hybrid->reset(x0);
+  for (int t = 0; t < 40; ++t) {
+    plain->step();
+    hybrid->step();
+    for (std::size_t i = 0; i < 6; ++i) {
+      ASSERT_NEAR(plain->loads()[i], hybrid->loads()[i], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlb

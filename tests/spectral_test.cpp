@@ -1,0 +1,171 @@
+// Spectral toolkit tests: Jacobi eigensolver against closed forms, and the
+// power-iteration estimators against the dense solver.
+#include "dlb/graph/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+using namespace dlb::generators;
+
+TEST(JacobiTest, DiagonalMatrix) {
+  std::vector<real_t> a = {3, 0, 0, 0, -1, 0, 0, 0, 2};
+  const std::vector<real_t> eig = symmetric_eigenvalues(std::move(a), 3);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], -1, 1e-12);
+  EXPECT_NEAR(eig[1], 2, 1e-12);
+  EXPECT_NEAR(eig[2], 3, 1e-12);
+}
+
+TEST(JacobiTest, TwoByTwoClosedForm) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  std::vector<real_t> a = {2, 1, 1, 2};
+  const std::vector<real_t> eig = symmetric_eigenvalues(std::move(a), 2);
+  EXPECT_NEAR(eig[0], 1, 1e-12);
+  EXPECT_NEAR(eig[1], 3, 1e-12);
+}
+
+TEST(JacobiTest, TraceAndFrobeniusPreserved) {
+  // Eigenvalues of a random symmetric matrix must preserve trace and the sum
+  // of squares (Frobenius norm of a symmetric matrix).
+  const node_id n = 8;
+  std::vector<real_t> a(static_cast<size_t>(n) * n);
+  for (node_id i = 0; i < n; ++i) {
+    for (node_id j = i; j < n; ++j) {
+      const real_t v = std::sin(static_cast<real_t>(3 * i + 7 * j + 1));
+      a[static_cast<size_t>(i) * n + j] = v;
+      a[static_cast<size_t>(j) * n + i] = v;
+    }
+  }
+  real_t trace = 0, frob = 0;
+  for (node_id i = 0; i < n; ++i) {
+    trace += a[static_cast<size_t>(i) * n + i];
+    for (node_id j = 0; j < n; ++j) {
+      frob += a[static_cast<size_t>(i) * n + j] * a[static_cast<size_t>(i) * n + j];
+    }
+  }
+  const std::vector<real_t> eig = symmetric_eigenvalues(std::move(a), n);
+  real_t etrace = 0, efrob = 0;
+  for (const real_t e : eig) {
+    etrace += e;
+    efrob += e * e;
+  }
+  EXPECT_NEAR(trace, etrace, 1e-9);
+  EXPECT_NEAR(frob, efrob, 1e-9);
+}
+
+TEST(LaplacianGammaTest, CycleClosedForm) {
+  // γ(C_n) = 2 - 2cos(2π/n).
+  for (const node_id n : {5, 8, 12}) {
+    const graph g = cycle(n);
+    const real_t expected =
+        2.0 - 2.0 * std::cos(2.0 * std::numbers::pi / n);
+    EXPECT_NEAR(laplacian_gamma_dense(g), expected, 1e-9) << "n=" << n;
+    EXPECT_NEAR(laplacian_gamma(g), expected, 1e-6) << "n=" << n;
+  }
+}
+
+TEST(LaplacianGammaTest, CompleteGraphClosedForm) {
+  // γ(K_n) = n.
+  const graph g = complete(7);
+  EXPECT_NEAR(laplacian_gamma_dense(g), 7.0, 1e-9);
+  EXPECT_NEAR(laplacian_gamma(g), 7.0, 1e-6);
+}
+
+TEST(LaplacianGammaTest, HypercubeClosedForm) {
+  // γ(Q_d) = 2 for every d >= 1.
+  for (int dim = 2; dim <= 5; ++dim) {
+    const graph g = hypercube(dim);
+    EXPECT_NEAR(laplacian_gamma_dense(g), 2.0, 1e-9) << "dim=" << dim;
+  }
+}
+
+TEST(LaplacianGammaTest, PathIsSmall) {
+  // γ(P_n) = 2 - 2cos(π/n): small for long paths.
+  const graph g = path(20);
+  const real_t expected =
+      2.0 - 2.0 * std::cos(std::numbers::pi / 20);
+  EXPECT_NEAR(laplacian_gamma_dense(g), expected, 1e-9);
+}
+
+TEST(DiffusionLambdaTest, PowerIterationMatchesDense) {
+  struct case_t {
+    graph g;
+    speed_vector s;
+  };
+  std::vector<case_t> cases;
+  cases.push_back({hypercube(4), uniform_speeds(16)});
+  cases.push_back({cycle(9), uniform_speeds(9)});
+  cases.push_back({torus_2d(4), uniform_speeds(16)});
+  cases.push_back({ring_of_cliques(3, 4), uniform_speeds(12)});
+  // heterogeneous speeds
+  speed_vector s(12, 1);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = 1 + (i % 3);
+  cases.push_back({ring_of_cliques(3, 4), s});
+
+  for (const case_t& c : cases) {
+    const std::vector<real_t> alpha =
+        make_alphas(c.g, alpha_scheme::half_max_degree);
+    const real_t dense = diffusion_lambda_dense(c.g, c.s, alpha);
+    const real_t power = diffusion_lambda(c.g, c.s, alpha, 200000, 1e-12);
+    EXPECT_NEAR(dense, power, 1e-4);
+    EXPECT_GT(dense, 0.0);
+    EXPECT_LT(dense, 1.0);
+  }
+}
+
+TEST(DiffusionLambdaTest, PoorExpanderHasLambdaCloseToOne) {
+  const graph good = random_regular(32, 4, 2);
+  const graph bad = ring_of_cliques(8, 4);
+  const real_t lg = diffusion_lambda_dense(
+      good, uniform_speeds(good.num_nodes()),
+      make_alphas(good, alpha_scheme::half_max_degree));
+  const real_t lb = diffusion_lambda_dense(
+      bad, uniform_speeds(bad.num_nodes()),
+      make_alphas(bad, alpha_scheme::half_max_degree));
+  EXPECT_LT(lg, lb);
+  EXPECT_GT(lb, 0.95);
+}
+
+TEST(DiffusionLambdaTest, CompleteGraphMixesFast) {
+  const graph g = complete(8);
+  const real_t l = diffusion_lambda_dense(
+      g, uniform_speeds(8), make_alphas(g, alpha_scheme::half_max_degree));
+  EXPECT_LT(l, 0.95);
+}
+
+TEST(SpeedsTest, Validation) {
+  const graph g = path(3);
+  EXPECT_NO_THROW(validate_speeds(g, {1, 2, 3}));
+  EXPECT_THROW(validate_speeds(g, {1, 2}), contract_violation);
+  EXPECT_THROW(validate_speeds(g, {1, 0, 3}), contract_violation);
+  const speed_vector u = uniform_speeds(4);
+  EXPECT_EQ(u.size(), 4u);
+  for (const weight_t s : u) EXPECT_EQ(s, 1);
+}
+
+TEST(DenseDiffusionMatrixTest, RowStochastic) {
+  const graph g = torus_2d(3);
+  const speed_vector s = uniform_speeds(9);
+  const std::vector<real_t> p = dense_diffusion_matrix(
+      g, s, make_alphas(g, alpha_scheme::max_degree_plus_one));
+  for (node_id i = 0; i < 9; ++i) {
+    real_t row = 0;
+    for (node_id j = 0; j < 9; ++j) {
+      const real_t v = p[static_cast<size_t>(i) * 9 + static_cast<size_t>(j)];
+      EXPECT_GE(v, 0.0);
+      row += v;
+    }
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,101 @@
+// Task model tests: pools, removal policies, assignments, dummy preload.
+#include "dlb/core/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dlb {
+namespace {
+
+TEST(TaskPoolTest, AddAndTotals) {
+  task_pool p;
+  EXPECT_TRUE(p.empty());
+  p.add_real(3);
+  p.add_real(1);
+  p.add_dummies(2);
+  EXPECT_EQ(p.total_weight(), 6);
+  EXPECT_EQ(p.real_weight(), 4);
+  EXPECT_EQ(p.dummy_count(), 2);
+  EXPECT_EQ(p.real_task_count(), 2u);
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(TaskPoolTest, RejectsBadWeights) {
+  task_pool p;
+  EXPECT_THROW(p.add_real(0), contract_violation);
+  EXPECT_THROW(p.add_real(-2), contract_violation);
+  EXPECT_THROW(p.add_dummies(-1), contract_violation);
+}
+
+TEST(TaskPoolTest, RealFirstRemoval) {
+  task_pool p;
+  p.add_real(5);
+  p.add_dummies(1);
+  const auto r1 = p.remove_arbitrary(removal_policy::real_first);
+  EXPECT_FALSE(r1.is_dummy);
+  EXPECT_EQ(r1.weight, 5);
+  const auto r2 = p.remove_arbitrary(removal_policy::real_first);
+  EXPECT_TRUE(r2.is_dummy);
+  EXPECT_EQ(r2.weight, 1);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(TaskPoolTest, DummyFirstRemoval) {
+  task_pool p;
+  p.add_real(5);
+  p.add_dummies(1);
+  const auto r1 = p.remove_arbitrary(removal_policy::dummy_first);
+  EXPECT_TRUE(r1.is_dummy);
+  const auto r2 = p.remove_arbitrary(removal_policy::dummy_first);
+  EXPECT_FALSE(r2.is_dummy);
+  EXPECT_EQ(r2.weight, 5);
+}
+
+TEST(TaskPoolTest, RemoveFromEmptyThrows) {
+  task_pool p;
+  EXPECT_THROW((void)p.remove_arbitrary(removal_policy::real_first),
+               contract_violation);
+}
+
+TEST(TaskAssignmentTest, TokensBuilder) {
+  const task_assignment a = task_assignment::tokens({3, 0, 2});
+  EXPECT_EQ(a.num_nodes(), 3);
+  EXPECT_EQ(a.loads(), (std::vector<weight_t>{3, 0, 2}));
+  EXPECT_EQ(a.total_weight(), 5);
+  EXPECT_EQ(a.max_task_weight(), 1);
+}
+
+TEST(TaskAssignmentTest, FromWeightsBuilder) {
+  const task_assignment a =
+      task_assignment::from_weights({{2, 3}, {}, {7, 1, 1}});
+  EXPECT_EQ(a.loads(), (std::vector<weight_t>{5, 0, 9}));
+  EXPECT_EQ(a.max_task_weight(), 7);
+  EXPECT_EQ(a.pool(2).real_task_count(), 3u);
+}
+
+TEST(TaskAssignmentTest, RealLoadsExcludeDummies) {
+  task_assignment a = task_assignment::tokens({4, 4});
+  a.pool(0).add_dummies(3);
+  EXPECT_EQ(a.loads(), (std::vector<weight_t>{7, 4}));
+  EXPECT_EQ(a.real_loads(), (std::vector<weight_t>{4, 4}));
+}
+
+TEST(TaskAssignmentTest, DummyPreload) {
+  task_assignment a = task_assignment::tokens({1, 1, 1});
+  add_dummy_preload(a, {1, 2, 3}, 4);
+  EXPECT_EQ(a.loads(), (std::vector<weight_t>{5, 9, 13}));
+  EXPECT_EQ(a.real_loads(), (std::vector<weight_t>{1, 1, 1}));
+}
+
+TEST(TaskAssignmentTest, BuilderRejections) {
+  EXPECT_THROW(task_assignment::tokens({}), contract_violation);
+  EXPECT_THROW(task_assignment::tokens({-1}), contract_violation);
+  EXPECT_THROW(task_assignment::from_weights({{0}}), contract_violation);
+}
+
+TEST(TaskAssignmentTest, MaxTaskWeightDefaultsToOne) {
+  const task_assignment a = task_assignment::from_weights({{}, {}});
+  EXPECT_EQ(a.max_task_weight(), 1);
+}
+
+}  // namespace
+}  // namespace dlb
