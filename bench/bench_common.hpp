@@ -1,11 +1,14 @@
 // Shared plumbing for the table/figure reproduction benches.
 //
-// Every bench builds the same competitor set the paper's Tables 1-2 compare:
-// flow imitation (Algorithms 1-2) against round-down [37], quasirandom
-// deterministic rounding [26], per-edge randomized rounding [26]/[24], and
-// the excess-token scheme [9], over the diffusion and matching models.
+// The competitor set (flow imitation vs. the rounding/excess-token
+// baselines) lives in the library as `workload::competitors`; this header
+// re-exports it under the historical `dlb::bench` names and adds the
+// bench-side conveniences: single-run and multi-seed drivers, the spike
+// workload, and steady_clock wall timing. Grid-shaped benches should prefer
+// `dlb::runtime` (experiment_grid + result_sink) over these loops.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iostream>
@@ -26,6 +29,8 @@
 #include "dlb/graph/coloring.hpp"
 #include "dlb/graph/generators.hpp"
 #include "dlb/graph/spectral.hpp"
+#include "dlb/runtime/wall_timer.hpp"
+#include "dlb/workload/competitors.hpp"
 #include "dlb/workload/initial_load.hpp"
 #include "dlb/workload/scenario.hpp"
 
@@ -33,126 +38,17 @@ namespace dlb::bench {
 
 inline constexpr round_t round_cap = 2'000'000;
 
-/// The communication model of a competitor row.
-enum class model { diffusion, periodic_matching, random_matching };
+using workload::competitor;
+using workload::make_continuous;
+using workload::make_schedule;
+using workload::model;
+using workload::model_name;
+using workload::spike_workload;
+using workload::standard_competitors;
 
-inline std::string model_name(model m) {
-  switch (m) {
-    case model::diffusion:
-      return "diffusion";
-    case model::periodic_matching:
-      return "periodic";
-    case model::random_matching:
-      return "random";
-  }
-  return "?";
-}
-
-/// Builds the continuous reference process for a model.
-inline std::unique_ptr<continuous_process> make_continuous(
-    model m, std::shared_ptr<const graph> g, const speed_vector& s,
-    std::uint64_t seed) {
-  switch (m) {
-    case model::diffusion:
-      return make_fos(g, s, make_alphas(*g, alpha_scheme::half_max_degree));
-    case model::periodic_matching: {
-      const edge_coloring c = misra_gries_edge_coloring(*g);
-      return make_periodic_matching_process(g, s, to_matchings(*g, c));
-    }
-    case model::random_matching:
-      return make_random_matching_process(g, s, seed);
-  }
-  return nullptr;
-}
-
-/// Builds the per-round α schedule for a model (for the local baselines).
-inline std::unique_ptr<alpha_schedule> make_schedule(
-    model m, const graph& g, const speed_vector& s, std::uint64_t seed) {
-  switch (m) {
-    case model::diffusion:
-      return std::make_unique<diffusion_alpha_schedule>(
-          make_alphas(g, alpha_scheme::half_max_degree));
-    case model::periodic_matching: {
-      const edge_coloring c = misra_gries_edge_coloring(g);
-      return std::make_unique<periodic_matching_schedule>(
-          g, s, to_matchings(g, c));
-    }
-    case model::random_matching:
-      return std::make_unique<random_matching_schedule>(g, s, seed);
-  }
-  return nullptr;
-}
-
-/// One competitor row of the comparison tables.
-struct competitor {
-  std::string name;     ///< e.g. "Alg1 (this paper)"
-  bool randomized;      ///< aggregate over several seeds if true
-  std::function<std::unique_ptr<discrete_process>(
-      std::shared_ptr<const graph>, const speed_vector&,
-      const std::vector<weight_t>&, model, std::uint64_t seed)>
-      build;
-};
-
-/// The standard competitor set (token model). `include_diffusion_only`
-/// controls whether the excess-token row (defined only for diffusion) is
-/// produced.
-inline std::vector<competitor> standard_competitors(bool diffusion_model) {
-  std::vector<competitor> rows;
-  rows.push_back(
-      {"round-down [37]", false,
-       [](std::shared_ptr<const graph> g, const speed_vector& s,
-          const std::vector<weight_t>& tokens, model m, std::uint64_t seed) {
-         return std::make_unique<local_rounding_process>(
-             g, s, make_schedule(m, *g, s, seed),
-             rounding_policy::round_down, tokens, seed);
-       }});
-  rows.push_back(
-      {"quasirandom [26]", false,
-       [](std::shared_ptr<const graph> g, const speed_vector& s,
-          const std::vector<weight_t>& tokens, model m, std::uint64_t seed) {
-         return std::make_unique<local_rounding_process>(
-             g, s, make_schedule(m, *g, s, seed),
-             rounding_policy::quasirandom, tokens, seed);
-       }});
-  rows.push_back(
-      {diffusion_model ? "rand-rounding [26]" : "rand-rounding [24]", true,
-       [diffusion_model](std::shared_ptr<const graph> g,
-                         const speed_vector& s,
-                         const std::vector<weight_t>& tokens, model m,
-                         std::uint64_t seed) {
-         return std::make_unique<local_rounding_process>(
-             g, s, make_schedule(m, *g, s, seed),
-             diffusion_model ? rounding_policy::randomized_fraction
-                             : rounding_policy::randomized_half,
-             tokens, seed);
-       }});
-  if (diffusion_model) {
-    rows.push_back(
-        {"excess-tokens [9]", true,
-         [](std::shared_ptr<const graph> g, const speed_vector& s,
-            const std::vector<weight_t>& tokens, model /*m*/,
-            std::uint64_t seed) {
-           return std::make_unique<excess_token_process>(
-               g, s, make_alphas(*g, alpha_scheme::half_max_degree), tokens,
-               seed);
-         }});
-  }
-  rows.push_back(
-      {"Alg1 (this paper)", false,
-       [](std::shared_ptr<const graph> g, const speed_vector& s,
-          const std::vector<weight_t>& tokens, model m, std::uint64_t seed) {
-         return std::make_unique<algorithm1>(
-             make_continuous(m, g, s, seed), task_assignment::tokens(tokens));
-       }});
-  rows.push_back(
-      {"Alg2 (this paper)", true,
-       [](std::shared_ptr<const graph> g, const speed_vector& s,
-          const std::vector<weight_t>& tokens, model m, std::uint64_t seed) {
-         return std::make_unique<algorithm2>(make_continuous(m, g, s, seed),
-                                             tokens, seed);
-       }});
-  return rows;
-}
+/// Monotonic wall-clock stopwatch (steady_clock; see runtime/wall_timer.hpp
+/// for why system_clock is banned from perf datapoints).
+using runtime::wall_timer;
 
 /// Result of running one competitor once.
 struct run_outcome {
@@ -161,6 +57,7 @@ struct run_outcome {
   round_t rounds = 0;
   bool converged = false;
   weight_t dummy = 0;
+  std::int64_t wall_ns = 0;  ///< steady_clock time spent inside the engine
 };
 
 /// Runs a competitor to the continuous balancing time of `m`'s reference
@@ -172,9 +69,10 @@ inline run_outcome run_once(const competitor& c,
                             std::uint64_t seed) {
   auto d = c.build(g, s, tokens, m, seed);
   auto reference = make_continuous(m, g, s, seed);
+  const wall_timer timer;
   const experiment_result r = run_experiment(*d, *reference, round_cap);
-  return {r.final_max_min, r.final_max_avg, r.rounds, r.continuous_converged,
-          r.dummy_created};
+  return {r.final_max_min,     r.final_max_avg, r.rounds,
+          r.continuous_converged, r.dummy_created, timer.elapsed_ns()};
 }
 
 /// Runs `repeats` seeds (1 for deterministic rows) and returns the summary of
@@ -188,21 +86,11 @@ inline analysis::summary run_competitor(const competitor& c,
   const int reps = c.randomized ? repeats : 1;
   std::vector<real_t> finals;
   for (int r = 0; r < reps; ++r) {
-    finals.push_back(run_once(c, g, s, tokens, m, seed0 + static_cast<std::uint64_t>(r)).max_min);
+    finals.push_back(
+        run_once(c, g, s, tokens, m, seed0 + static_cast<std::uint64_t>(r))
+            .max_min);
   }
   return analysis::summarize(std::move(finals));
-}
-
-/// The standard bench workload: a heavy spike on node 0 plus the
-/// sufficient-load floor of d·w_max tokens per speed unit (so the max-min
-/// guarantees of Theorems 3(2)/8(2) are in scope for the flow imitators).
-inline std::vector<weight_t> spike_workload(const graph& g,
-                                            const speed_vector& s,
-                                            weight_t spike_per_node) {
-  const auto spike = workload::point_mass(
-      g.num_nodes(), 0, spike_per_node * g.num_nodes());
-  return workload::add_speed_multiple(spike, s,
-                                      static_cast<weight_t>(g.max_degree()));
 }
 
 }  // namespace dlb::bench

@@ -7,62 +7,65 @@
 // check: Algorithm 1 is O(d) — flat in n and independent of expansion — and
 // Algorithm 2 is O(sqrt(d·log n)); round-down degrades on the low-expansion
 // column.
+//
+// Runs on the dlb::runtime experiment grid (one cell per graph × process ×
+// seed, spread over all cores) and appends every cell, wall-clock included,
+// to BENCH_table1.json.
+#include <cmath>
+#include <fstream>
+#include <iterator>
+
 #include "bench_common.hpp"
+#include "dlb/runtime/grids.hpp"
 
 namespace {
 
 using namespace dlb;
-using namespace dlb::bench;
 
-void run_table(node_id target_n, int repeats) {
-  const auto cases = workload::table_graph_classes(target_n, /*seed=*/7);
+constexpr std::uint64_t master_seed = 7;
 
-  analysis::ascii_table table(
-      {"process", cases[0].name, cases[1].name, cases[2].name,
-       cases[3].name});
-
-  const auto rows = standard_competitors(/*diffusion_model=*/true);
-  for (const auto& row : rows) {
-    std::vector<std::string> cells{row.name};
-    for (const auto& gc : cases) {
-      const speed_vector s = uniform_speeds(gc.g->num_nodes());
-      const auto tokens = spike_workload(*gc.g, s, /*spike_per_node=*/50);
-      const auto summary =
-          run_competitor(row, gc.g, s, tokens, model::diffusion, repeats);
-      cells.push_back(analysis::ascii_table::fmt(summary.mean, 2) +
-                      (row.randomized
-                           ? " ±" + analysis::ascii_table::fmt(summary.stddev, 2)
-                           : ""));
-    }
-    table.add_row(std::move(cells));
-  }
+std::vector<runtime::result_row> run_table(runtime::thread_pool& pool,
+                                           node_id target_n, int repeats) {
+  runtime::grid_options opts;
+  opts.target_n = target_n;
+  opts.repeats = repeats;
+  runtime::grid_spec spec =
+      runtime::make_named_grid("table1", opts, master_seed);
+  // Batches at different sizes land in one JSON file; suffix the grid name
+  // so (grid, cell) stays a unique key across the whole file.
+  spec.name += "-n" + std::to_string(target_n);
+  auto rows = runtime::run_grid(spec, master_seed, pool);
 
   std::cout << "\n=== Table 1: diffusion model, final max-min discrepancy at "
                "T^A (n≈"
             << target_n << ", " << repeats << " seeds for randomized) ===\n";
-  table.print(std::cout);
+  analysis::pivot("process", runtime::discrepancy_cells(rows))
+      .print(std::cout);
 
-  // Context row: theoretical ceilings for the flow imitators.
-  analysis::ascii_table bounds({"bound", cases[0].name, cases[1].name,
-                                cases[2].name, cases[3].name});
-  std::vector<std::string> b1{"2d+2 (Thm 3, w_max=1)"};
-  std::vector<std::string> b2{"d/4+O(sqrt(d log n)) (Thm 8)"};
-  for (const auto& gc : cases) {
+  // Context rows: theoretical ceilings for the flow imitators.
+  std::vector<analysis::pivot_cell> bound_cells;
+  for (const auto& gc : spec.graphs) {
     const real_t d = static_cast<real_t>(gc.g->max_degree());
     const real_t n = static_cast<real_t>(gc.g->num_nodes());
-    b1.push_back(analysis::ascii_table::fmt(2 * d + 2, 0));
-    b2.push_back(analysis::ascii_table::fmt(
-        d / 4 + std::sqrt(d * std::log(n)), 1));
+    bound_cells.push_back({"2d+2 (Thm 3, w_max=1)", gc.name, 2 * d + 2});
+    bound_cells.push_back({"d/4+O(sqrt(d log n)) (Thm 8)", gc.name,
+                           d / 4 + std::sqrt(d * std::log(n))});
   }
-  bounds.add_row(std::move(b1));
-  bounds.add_row(std::move(b2));
-  bounds.print(std::cout);
+  analysis::pivot("bound", bound_cells, /*precision=*/1).print(std::cout);
+  return rows;
 }
 
 }  // namespace
 
 int main() {
-  run_table(/*target_n=*/128, /*repeats=*/5);
-  run_table(/*target_n=*/256, /*repeats=*/3);
+  runtime::thread_pool pool(runtime::thread_pool::default_threads());
+  auto rows = run_table(pool, /*target_n=*/128, /*repeats=*/5);
+  auto more = run_table(pool, /*target_n=*/256, /*repeats=*/3);
+  rows.insert(rows.end(), std::make_move_iterator(more.begin()),
+              std::make_move_iterator(more.end()));
+
+  std::ofstream out("BENCH_table1.json");
+  runtime::write_json(out, rows, runtime::timing::include);
+  std::cout << "\nwrote " << rows.size() << " cells to BENCH_table1.json\n";
   return 0;
 }

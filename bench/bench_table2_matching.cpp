@@ -5,47 +5,60 @@
 // Shape to check: Algorithm 1 is the only process whose final discrepancy is
 // independent of n on every family; randomized rounding [24] and Algorithm 2
 // track O(sqrt(d·log n)); round-down [37] depends on expansion.
+//
+// Runs both matching grids on the dlb::runtime experiment grid and appends
+// every cell, wall-clock included, to BENCH_table2.json.
+#include <fstream>
+#include <iterator>
+
 #include "bench_common.hpp"
+#include "dlb/runtime/grids.hpp"
 
 namespace {
 
 using namespace dlb;
-using namespace dlb::bench;
 
-void run_table(model m, node_id target_n, int repeats) {
-  const auto cases = workload::table_graph_classes(target_n, /*seed=*/11);
+constexpr std::uint64_t master_seed = 11;
 
-  analysis::ascii_table table(
-      {"process", cases[0].name, cases[1].name, cases[2].name,
-       cases[3].name});
+std::vector<runtime::result_row> run_table(runtime::thread_pool& pool,
+                                           const std::string& grid_name,
+                                           node_id target_n, int repeats) {
+  runtime::grid_options opts;
+  opts.target_n = target_n;
+  opts.repeats = repeats;
+  runtime::grid_spec spec =
+      runtime::make_named_grid(grid_name, opts, master_seed);
+  // All four batches land in one JSON file; suffix the grid name so
+  // (grid, cell) stays a unique key across the whole file.
+  spec.name += "-n" + std::to_string(target_n);
+  auto rows = runtime::run_grid(spec, master_seed, pool);
 
-  const auto rows = standard_competitors(/*diffusion_model=*/false);
-  for (const auto& row : rows) {
-    std::vector<std::string> cells{row.name};
-    for (const auto& gc : cases) {
-      const speed_vector s = uniform_speeds(gc.g->num_nodes());
-      const auto tokens = spike_workload(*gc.g, s, /*spike_per_node=*/50);
-      const auto summary = run_competitor(row, gc.g, s, tokens, m, repeats);
-      cells.push_back(analysis::ascii_table::fmt(summary.mean, 2) +
-                      (row.randomized
-                           ? " ±" + analysis::ascii_table::fmt(summary.stddev, 2)
-                           : ""));
-    }
-    table.add_row(std::move(cells));
-  }
-
-  std::cout << "\n=== Table 2 (" << model_name(m)
+  std::cout << "\n=== Table 2 ("
+            << workload::model_name(spec.comm_model)
             << " matchings): final max-min discrepancy at T^A (n≈"
-            << target_n << ") ===\n";
-  table.print(std::cout);
+            << target_n << ", " << repeats << " seeds for randomized) ===\n";
+  analysis::pivot("process", runtime::discrepancy_cells(rows))
+      .print(std::cout);
+  return rows;
 }
 
 }  // namespace
 
 int main() {
-  run_table(model::periodic_matching, /*target_n=*/128, /*repeats=*/5);
-  run_table(model::random_matching, /*target_n=*/128, /*repeats=*/5);
-  run_table(model::periodic_matching, /*target_n=*/256, /*repeats=*/3);
-  run_table(model::random_matching, /*target_n=*/256, /*repeats=*/3);
+  runtime::thread_pool pool(runtime::thread_pool::default_threads());
+  std::vector<runtime::result_row> rows;
+  for (const auto& [grid, n, repeats] :
+       {std::tuple<const char*, node_id, int>{"table2-periodic", 128, 5},
+        {"table2-random", 128, 5},
+        {"table2-periodic", 256, 3},
+        {"table2-random", 256, 3}}) {
+    auto batch = run_table(pool, grid, n, repeats);
+    rows.insert(rows.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+
+  std::ofstream out("BENCH_table2.json");
+  runtime::write_json(out, rows, runtime::timing::include);
+  std::cout << "\nwrote " << rows.size() << " cells to BENCH_table2.json\n";
   return 0;
 }

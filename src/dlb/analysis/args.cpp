@@ -1,24 +1,67 @@
 #include "dlb/analysis/args.hpp"
 
+#include <cctype>
+#include <cstddef>
 #include <stdexcept>
 
 #include "dlb/common/contracts.hpp"
 
 namespace dlb::analysis {
 
+namespace {
+
+bool is_dashed_key(const std::string& token) {
+  // "-x" / "--key", but not a bare "-"/"--" and not a negative number
+  // ("-5", "-.5"). Dash-led *string* values need the "--key=-value" form.
+  if (token.size() < 2 || token[0] != '-') return false;
+  const std::size_t body = token.find_first_not_of('-');
+  if (body == std::string::npos) return false;
+  const auto c = static_cast<unsigned char>(token[body]);
+  if (std::isdigit(c)) return false;
+  if (token[body] == '.' && body + 1 < token.size() &&
+      std::isdigit(static_cast<unsigned char>(token[body + 1])))
+    return false;
+  return true;
+}
+
+}  // namespace
+
 arg_map::arg_map(int argc, const char* const* argv) {
-  for (int i = 1; i < argc; ++i) insert(argv[i]);
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
 }
 
-arg_map::arg_map(const std::vector<std::string>& tokens) {
-  for (const std::string& t : tokens) insert(t);
+arg_map::arg_map(const std::vector<std::string>& tokens) { parse(tokens); }
+
+void arg_map::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    std::string body = token;
+    bool dashed = false;
+    if (is_dashed_key(token)) {
+      dashed = true;
+      body = token.substr(token.find_first_not_of('-'));
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      insert_pair(body.substr(0, eq), body.substr(eq + 1));
+      continue;
+    }
+    // A dashed key without '=' consumes the next token as its value unless
+    // that token is itself a key — dashed ("--list --grid ...") or
+    // key=value ("--table master-seed=9" must not eat the seed setting).
+    if (dashed && i + 1 < tokens.size() && !is_dashed_key(tokens[i + 1]) &&
+        tokens[i + 1].find('=') == std::string::npos) {
+      insert_pair(body, tokens[i + 1]);
+      ++i;
+      continue;
+    }
+    insert_pair(body, "true");
+  }
 }
 
-void arg_map::insert(const std::string& token) {
-  const auto eq = token.find('=');
-  std::string key = eq == std::string::npos ? token : token.substr(0, eq);
-  std::string value =
-      eq == std::string::npos ? "true" : token.substr(eq + 1);
+void arg_map::insert_pair(std::string key, std::string value) {
   DLB_EXPECTS(!key.empty());
   DLB_EXPECTS(values_.find(key) == values_.end());
   values_.emplace(std::move(key), std::move(value));

@@ -14,7 +14,14 @@ namespace dlb::analysis {
 class arg_map {
  public:
   /// Parses `key=value` tokens; bare tokens become flags with value "true".
-  /// Throws contract_violation on duplicate keys or empty keys.
+  /// Dashed tokens are also accepted (`--key=value`, `--key value`, and
+  /// `--flag`); leading dashes are stripped from the stored key, so
+  /// `--master-seed 7` and `master-seed=7` are interchangeable. A dashed key
+  /// consumes the following token as its value unless that token is itself
+  /// a key — dash-led or `key=value` shaped. Negative numbers like `-5` or
+  /// `-.5` still count as values; values that are dash-led or contain `=`
+  /// need the `--key=value` spelling. Throws contract_violation on
+  /// duplicate keys or empty keys.
   arg_map(int argc, const char* const* argv);
 
   /// Builds from pre-split tokens (testing convenience).
@@ -34,7 +41,8 @@ class arg_map {
   [[nodiscard]] std::vector<std::string> unused_keys() const;
 
  private:
-  void insert(const std::string& token);
+  void parse(const std::vector<std::string>& tokens);
+  void insert_pair(std::string key, std::string value);
 
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> consumed_;

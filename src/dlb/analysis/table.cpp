@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "dlb/analysis/stats.hpp"
 #include "dlb/common/contracts.hpp"
 
 namespace dlb::analysis {
@@ -50,6 +51,58 @@ std::string ascii_table::fmt(double value, int precision) {
   std::ostringstream ss;
   ss << std::fixed << std::setprecision(precision) << value;
   return ss.str();
+}
+
+ascii_table pivot(const std::string& corner,
+                  const std::vector<pivot_cell>& cells, int precision) {
+  std::vector<std::string> row_order;
+  std::vector<std::string> col_order;
+  const auto order_index = [](std::vector<std::string>& order,
+                              const std::string& label) {
+    const auto it = std::find(order.begin(), order.end(), label);
+    if (it != order.end())
+      return static_cast<std::size_t>(it - order.begin());
+    order.push_back(label);
+    return order.size() - 1;
+  };
+
+  // samples[r][c] accumulates every observation for that body cell. Rows
+  // are widened only when a new column first appears.
+  std::vector<std::vector<std::vector<double>>> samples;
+  for (const pivot_cell& cell : cells) {
+    const std::size_t r = order_index(row_order, cell.row);
+    const std::size_t cols_before = col_order.size();
+    const std::size_t c = order_index(col_order, cell.col);
+    if (samples.size() <= r) samples.resize(r + 1);
+    if (col_order.size() != cols_before) {
+      for (auto& row : samples) row.resize(col_order.size());
+    } else if (samples[r].size() < col_order.size()) {
+      samples[r].resize(col_order.size());  // row added after all columns
+    }
+    samples[r][c].push_back(cell.value);
+  }
+
+  std::vector<std::string> headers{corner};
+  headers.insert(headers.end(), col_order.begin(), col_order.end());
+  ascii_table table(std::move(headers));
+  for (std::size_t r = 0; r < row_order.size(); ++r) {
+    std::vector<std::string> out_row{row_order[r]};
+    for (std::size_t c = 0; c < col_order.size(); ++c) {
+      const std::vector<double>& vals = samples[r][c];
+      if (vals.empty()) {
+        out_row.emplace_back("-");
+        continue;
+      }
+      const summary s = summarize(std::vector<real_t>(vals.begin(),
+                                                      vals.end()));
+      std::string text = ascii_table::fmt(s.mean, precision);
+      if (s.count > 1)
+        text += " ±" + ascii_table::fmt(s.stddev, precision);
+      out_row.push_back(std::move(text));
+    }
+    table.add_row(std::move(out_row));
+  }
+  return table;
 }
 
 }  // namespace dlb::analysis

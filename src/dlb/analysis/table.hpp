@@ -27,4 +27,21 @@ class ascii_table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// One observation for `pivot`: the table row/column it lands in plus its
+/// value. Repeated (row, col) pairs are aggregated.
+struct pivot_cell {
+  std::string row;
+  std::string col;
+  double value = 0;
+};
+
+/// Builds a pivoted table from a flat list of observations (e.g. experiment
+/// result-sink rows): rows and columns appear in first-occurrence order,
+/// `corner` labels the header of the row-label column, and each body cell
+/// shows the mean of its observations — "mean ±stddev" when a cell received
+/// more than one. Empty cells render as "-".
+[[nodiscard]] ascii_table pivot(const std::string& corner,
+                                const std::vector<pivot_cell>& cells,
+                                int precision = 2);
+
 }  // namespace dlb::analysis

@@ -1,0 +1,75 @@
+// Declarative experiment grids and their parallel execution.
+//
+// A grid_spec is the cross product (graph case × competitor × repetition)
+// under one communication model, executed either as a static balancing run
+// (engine::run_experiment, gated by the continuous balancing time T^A) or as
+// a dynamic arrivals run (engine::run_dynamic). Expansion assigns every cell
+// a deterministic index; the cell's RNG seed is derive_seed(master, index),
+// so results are bit-identical no matter how many threads execute the grid
+// or in which order the scheduler happens to hand cells out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dlb/common/types.hpp"
+#include "dlb/runtime/result_sink.hpp"
+#include "dlb/runtime/thread_pool.hpp"
+#include "dlb/workload/competitors.hpp"
+#include "dlb/workload/scenario.hpp"
+
+namespace dlb::runtime {
+
+/// How a cell is driven through the engine.
+enum class grid_kind {
+  static_balancing,  ///< run_experiment to the continuous balancing time
+  dynamic_arrivals,  ///< run_dynamic with uniform random arrivals
+};
+
+/// A declarative grid: every (graph, process, repetition) triple becomes one
+/// cell. Deterministic competitors run one repetition regardless of
+/// `repeats`; randomized ones run `repeats` with distinct derived seeds.
+struct grid_spec {
+  std::string name;
+  std::string description;
+  grid_kind kind = grid_kind::static_balancing;
+  workload::model comm_model = workload::model::diffusion;
+  std::vector<workload::graph_case> graphs;
+  std::vector<workload::competitor> processes;
+  int repeats = 1;
+  weight_t spike_per_node = 50;  ///< initial point-mass spike per node
+  round_t round_cap = 2'000'000;
+
+  // dynamic_arrivals only:
+  round_t dynamic_rounds = 0;        ///< total rounds to simulate
+  weight_t arrivals_per_round = 0;   ///< uniform arrival rate
+};
+
+/// One expanded cell. `index` is the position in deterministic enumeration
+/// order (graphs outer, processes middle, repetitions inner).
+struct grid_cell {
+  std::uint64_t index = 0;
+  std::size_t graph_index = 0;
+  std::size_t process_index = 0;
+  int repetition = 0;
+  std::uint64_t seed = 0;  ///< derive_seed(master, index)
+};
+
+/// Expands a spec into its cell list. Pure and deterministic.
+[[nodiscard]] std::vector<grid_cell> expand_grid(const grid_spec& spec,
+                                                 std::uint64_t master_seed);
+
+/// Executes one cell and returns its result row (wall_ns populated from a
+/// steady_clock measurement around the engine call).
+[[nodiscard]] result_row run_cell(const grid_spec& spec,
+                                  const grid_cell& cell);
+
+/// Expands and executes a whole grid on `pool`, returning rows in canonical
+/// cell order. Bit-identical output for any pool size given the same
+/// (spec, master_seed) — apart from the wall_ns timing field.
+[[nodiscard]] std::vector<result_row> run_grid(const grid_spec& spec,
+                                               std::uint64_t master_seed,
+                                               thread_pool& pool);
+
+}  // namespace dlb::runtime

@@ -1,0 +1,71 @@
+#include "dlb/runtime/grids.hpp"
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/common/rng.hpp"
+
+namespace dlb::runtime {
+
+namespace {
+
+// Stream id for graph-construction randomness, separate from cell streams
+// (cells use 0, 1, 2, ... — this constant is far outside any grid size).
+constexpr std::uint64_t graph_seed_stream = 0x6772617068ULL;  // "graph"
+
+grid_spec base_spec(const grid_options& opts, std::uint64_t master_seed,
+                    workload::model m, bool diffusion_competitors) {
+  grid_spec spec;
+  spec.comm_model = m;
+  spec.graphs = workload::table_graph_classes(
+      opts.target_n, derive_seed(master_seed, graph_seed_stream));
+  spec.processes = workload::standard_competitors(diffusion_competitors);
+  spec.repeats = opts.repeats;
+  spec.spike_per_node = opts.spike_per_node;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<grid_info> list_grids() {
+  return {
+      {"table1",
+       "Table 1: diffusion model, final max-min discrepancy at T^A"},
+      {"table2-periodic",
+       "Table 2: periodic matchings (Misra-Gries colouring) at T^A"},
+      {"table2-random",
+       "Table 2: fresh random maximal matchings each round, at T^A"},
+      {"dynamic-uniform",
+       "Dynamic arrivals: uniform token stream while diffusing"},
+  };
+}
+
+grid_spec make_named_grid(const std::string& name, const grid_options& opts,
+                          std::uint64_t master_seed) {
+  grid_spec spec;
+  if (name == "table1") {
+    spec = base_spec(opts, master_seed, workload::model::diffusion,
+                     /*diffusion_competitors=*/true);
+  } else if (name == "table2-periodic") {
+    spec = base_spec(opts, master_seed, workload::model::periodic_matching,
+                     /*diffusion_competitors=*/false);
+  } else if (name == "table2-random") {
+    spec = base_spec(opts, master_seed, workload::model::random_matching,
+                     /*diffusion_competitors=*/false);
+  } else if (name == "dynamic-uniform") {
+    spec = base_spec(opts, master_seed, workload::model::diffusion,
+                     /*diffusion_competitors=*/true);
+    spec.kind = grid_kind::dynamic_arrivals;
+    spec.dynamic_rounds = opts.dynamic_rounds;
+    spec.arrivals_per_round = opts.arrivals_per_round;
+  } else {
+    throw contract_violation("unknown grid: " + name +
+                             " (try `dlb_run --list`)");
+  }
+  spec.name = name;
+  for (const grid_info& info : list_grids()) {
+    if (info.name == name) spec.description = info.description;
+  }
+  DLB_ENSURES(!spec.description.empty());
+  return spec;
+}
+
+}  // namespace dlb::runtime

@@ -1,0 +1,41 @@
+// The named grid registry: every table/figure-style experiment the repo
+// ships, addressable by name from `dlb_run` and the benches. Each named grid
+// is a parameterized grid_spec builder; graph instances are derived from the
+// master seed so one `--master-seed` pins the entire experiment, topology
+// included.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dlb/runtime/experiment_grid.hpp"
+
+namespace dlb::runtime {
+
+/// Size/effort knobs shared by all named grids.
+struct grid_options {
+  node_id target_n = 128;      ///< approximate node count per graph case
+  int repeats = 5;             ///< repetitions for randomized competitors
+  weight_t spike_per_node = 50;
+  round_t dynamic_rounds = 400;      ///< dynamic grids only
+  weight_t arrivals_per_round = 8;   ///< dynamic grids only
+};
+
+/// Name + one-line description of a registered grid.
+struct grid_info {
+  std::string name;
+  std::string description;
+};
+
+/// All registered grid names, in stable listing order.
+[[nodiscard]] std::vector<grid_info> list_grids();
+
+/// Builds the named grid. Graph randomness (the expander case) is seeded
+/// from `master_seed`, so the same master reproduces identical topologies.
+/// Throws contract_violation for unknown names.
+[[nodiscard]] grid_spec make_named_grid(const std::string& name,
+                                        const grid_options& opts,
+                                        std::uint64_t master_seed);
+
+}  // namespace dlb::runtime

@@ -1,0 +1,294 @@
+#include "dlb/runtime/result_sink.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <system_error>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::runtime {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Shortest representation that round-trips exactly (std::to_chars default).
+void append_real(std::string& out, real_t v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  DLB_ASSERT(res.ec == std::errc());
+  out.append(buf, res.ptr);
+}
+
+template <typename Int>
+void append_int(std::string& out, Int v) {
+  out += std::to_string(v);
+}
+
+// --- minimal parser for the flat objects to_json emits -----------------
+
+struct cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const {
+    DLB_EXPECTS(!done());
+    return text[pos];
+  }
+  void skip_ws() {
+    while (!done() && (text[pos] == ' ' || text[pos] == '\t' ||
+                       text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+  void expect(char c) {
+    skip_ws();
+    DLB_EXPECTS(!done() && text[pos] == c);
+    ++pos;
+  }
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (done() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+std::string parse_string(cursor& c) {
+  c.expect('"');
+  std::string out;
+  for (;;) {
+    DLB_EXPECTS(!c.done());
+    const char ch = c.text[c.pos++];
+    if (ch == '"') return out;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    DLB_EXPECTS(!c.done());
+    const char esc = c.text[c.pos++];
+    switch (esc) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        DLB_EXPECTS(c.pos + 4 <= c.text.size());
+        unsigned code = 0;
+        const auto res = std::from_chars(c.text.data() + c.pos,
+                                         c.text.data() + c.pos + 4, code, 16);
+        DLB_EXPECTS(res.ec == std::errc());
+        c.pos += 4;
+        DLB_EXPECTS(code < 0x80);  // to_json only escapes control chars
+        out += static_cast<char>(code);
+        break;
+      }
+      default:
+        throw contract_violation("unsupported JSON escape");
+    }
+  }
+}
+
+std::string_view parse_scalar_token(cursor& c) {
+  c.skip_ws();
+  const std::size_t start = c.pos;
+  while (!c.done()) {
+    const char ch = c.text[c.pos];
+    if (ch == ',' || ch == '}' || ch == ']' || ch == ' ' || ch == '\n' ||
+        ch == '\r' || ch == '\t')
+      break;
+    ++c.pos;
+  }
+  DLB_EXPECTS(c.pos > start);
+  return c.text.substr(start, c.pos - start);
+}
+
+real_t to_real(std::string_view tok) {
+  real_t v = 0;
+  const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  DLB_EXPECTS(res.ec == std::errc() && res.ptr == tok.data() + tok.size());
+  return v;
+}
+
+template <typename Int>
+Int to_int(std::string_view tok) {
+  Int v = 0;
+  const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  DLB_EXPECTS(res.ec == std::errc() && res.ptr == tok.data() + tok.size());
+  return v;
+}
+
+result_row parse_object(cursor& c) {
+  result_row row;
+  c.expect('{');
+  if (c.consume('}')) return row;
+  for (;;) {
+    const std::string key = parse_string(c);
+    c.expect(':');
+    c.skip_ws();
+    if (!c.done() && c.peek() == '"') {
+      const std::string value = parse_string(c);
+      if (key == "grid") row.grid = value;
+      else if (key == "scenario") row.scenario = value;
+      else if (key == "process") row.process = value;
+      else if (key == "model") row.model = value;
+    } else {
+      const std::string_view tok = parse_scalar_token(c);
+      if (key == "cell") row.cell = to_int<std::uint64_t>(tok);
+      else if (key == "n") row.n = to_int<std::int64_t>(tok);
+      else if (key == "seed") row.seed = to_int<std::uint64_t>(tok);
+      else if (key == "rounds") row.rounds = to_int<round_t>(tok);
+      else if (key == "converged") row.converged = tok == "true";
+      else if (key == "final_max_min") row.final_max_min = to_real(tok);
+      else if (key == "final_max_avg") row.final_max_avg = to_real(tok);
+      else if (key == "mean_max_min") row.mean_max_min = to_real(tok);
+      else if (key == "peak_max_min") row.peak_max_min = to_real(tok);
+      else if (key == "dummy_created") row.dummy_created = to_int<weight_t>(tok);
+      else if (key == "wall_ns") row.wall_ns = to_int<std::int64_t>(tok);
+    }
+    if (c.consume('}')) return row;
+    c.expect(',');
+  }
+}
+
+}  // namespace
+
+std::string to_json(const result_row& row, timing t) {
+  std::string out;
+  out.reserve(256);
+  out += "{\"cell\":";
+  append_int(out, row.cell);
+  out += ",\"grid\":";
+  append_escaped(out, row.grid);
+  out += ",\"scenario\":";
+  append_escaped(out, row.scenario);
+  out += ",\"process\":";
+  append_escaped(out, row.process);
+  out += ",\"model\":";
+  append_escaped(out, row.model);
+  out += ",\"n\":";
+  append_int(out, row.n);
+  out += ",\"seed\":";
+  append_int(out, row.seed);
+  out += ",\"rounds\":";
+  append_int(out, row.rounds);
+  out += ",\"converged\":";
+  out += row.converged ? "true" : "false";
+  out += ",\"final_max_min\":";
+  append_real(out, row.final_max_min);
+  out += ",\"final_max_avg\":";
+  append_real(out, row.final_max_avg);
+  out += ",\"mean_max_min\":";
+  append_real(out, row.mean_max_min);
+  out += ",\"peak_max_min\":";
+  append_real(out, row.peak_max_min);
+  out += ",\"dummy_created\":";
+  append_int(out, row.dummy_created);
+  out += ",\"wall_ns\":";
+  append_int(out, t == timing::include ? row.wall_ns : 0);
+  out += '}';
+  return out;
+}
+
+result_row parse_row(std::string_view json) {
+  cursor c{json};
+  const result_row row = parse_object(c);
+  c.skip_ws();
+  DLB_EXPECTS(c.done());
+  return row;
+}
+
+void write_json(std::ostream& os, const std::vector<result_row>& rows,
+                timing t) {
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << "  " << to_json(rows[i], t);
+    if (i + 1 < rows.size()) os << ',';
+    os << '\n';
+  }
+  os << "]\n";
+}
+
+std::vector<result_row> parse_json(std::string_view json) {
+  cursor c{json};
+  std::vector<result_row> rows;
+  c.expect('[');
+  if (c.consume(']')) return rows;
+  for (;;) {
+    rows.push_back(parse_object(c));
+    if (c.consume(']')) return rows;
+    c.expect(',');
+  }
+}
+
+std::vector<analysis::pivot_cell> discrepancy_cells(
+    const std::vector<result_row>& rows) {
+  std::vector<analysis::pivot_cell> cells;
+  cells.reserve(rows.size());
+  for (const result_row& row : rows) {
+    cells.push_back({row.process, row.scenario, row.final_max_min});
+  }
+  return cells;
+}
+
+void result_sink::add(result_row row) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rows_.push_back(std::move(row));
+}
+
+std::size_t result_sink::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+std::vector<result_row> result_sink::take_rows() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<result_row> out = std::move(rows_);
+  rows_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const result_row& a, const result_row& b) {
+              return a.cell < b.cell;
+            });
+  return out;
+}
+
+}  // namespace dlb::runtime

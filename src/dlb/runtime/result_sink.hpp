@@ -1,0 +1,88 @@
+// Thread-safe collection of experiment results and their JSON wire format.
+//
+// Every grid cell produces one `result_row`. Workers add rows concurrently;
+// `take_rows` restores the deterministic cell order so that downstream output
+// (JSON files, rendered tables) is bit-identical regardless of how many
+// threads executed the grid. Timing is the one nondeterministic field, so the
+// serializer can mask it (`timing::exclude`) — that is what `dlb_run` prints
+// to stdout, while `BENCH_*.json` files keep real wall-clock numbers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dlb/analysis/table.hpp"
+#include "dlb/common/types.hpp"
+
+namespace dlb::runtime {
+
+/// One executed grid cell. `cell` is the deterministic enumeration index the
+/// grid assigned; it doubles as the RNG stream id (seed = derive_seed(master,
+/// cell)) and as the canonical sort key.
+struct result_row {
+  std::uint64_t cell = 0;
+  std::string grid;      ///< grid name, e.g. "table1"
+  std::string scenario;  ///< graph case, e.g. "hypercube(dim=7)"
+  std::string process;   ///< competitor, e.g. "Alg1 (this paper)"
+  std::string model;     ///< "diffusion" / "periodic" / "random"
+  std::int64_t n = 0;    ///< node count
+  std::uint64_t seed = 0;
+  round_t rounds = 0;
+  bool converged = false;  ///< continuous reference reached T^A; always
+                           ///< false for dynamic runs (no T^A gate exists)
+  real_t final_max_min = 0;
+  real_t final_max_avg = 0;
+  real_t mean_max_min = 0;  ///< dynamic runs only (0 otherwise)
+  real_t peak_max_min = 0;  ///< dynamic runs only (0 otherwise)
+  weight_t dummy_created = 0;
+  std::int64_t wall_ns = 0;  ///< per-cell steady_clock wall time
+
+  friend bool operator==(const result_row&, const result_row&) = default;
+};
+
+/// Whether serialized rows carry real wall-clock numbers or a 0 placeholder.
+enum class timing { include, exclude };
+
+/// Serializes one row as a single-line JSON object. Reals are written with
+/// shortest-round-trip formatting, so parse_row(to_json(r)) == r exactly.
+[[nodiscard]] std::string to_json(const result_row& row,
+                                  timing t = timing::include);
+
+/// Parses a JSON object produced by to_json. Unknown keys are ignored;
+/// malformed input throws contract_violation.
+[[nodiscard]] result_row parse_row(std::string_view json);
+
+/// Writes rows as a JSON array, one object per line.
+void write_json(std::ostream& os, const std::vector<result_row>& rows,
+                timing t = timing::include);
+
+/// Parses a JSON array written by write_json.
+[[nodiscard]] std::vector<result_row> parse_json(std::string_view json);
+
+/// Projects rows into the standard table shape (process × scenario →
+/// final max-min discrepancy), ready for analysis::pivot.
+[[nodiscard]] std::vector<analysis::pivot_cell> discrepancy_cells(
+    const std::vector<result_row>& rows);
+
+/// Thread-safe collector used while a grid is in flight.
+class result_sink {
+ public:
+  /// Adds one row (callable from any pool worker).
+  void add(result_row row);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Returns all rows sorted by cell index and clears the sink. The sort
+  /// erases the thread-interleaving of add() calls, restoring determinism.
+  [[nodiscard]] std::vector<result_row> take_rows();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<result_row> rows_;
+};
+
+}  // namespace dlb::runtime

@@ -1,0 +1,106 @@
+#include "dlb/runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::runtime {
+
+thread_pool::thread_pool(unsigned num_threads) {
+  DLB_EXPECTS(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+unsigned thread_pool::num_threads() const noexcept {
+  return static_cast<unsigned>(workers_.size());
+}
+
+unsigned thread_pool::default_threads() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void thread_pool::parallel_for_each(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+
+  // Shared loop state for this call. Workers pull indices from `next`; the
+  // first exception parks `next` past the end so no new work starts.
+  struct loop_state {
+    std::atomic<std::size_t> next{0};
+    std::size_t count = 0;
+    std::size_t pending_jobs = 0;  // guarded by done_mutex
+    std::mutex done_mutex;
+    std::condition_variable done;
+    std::exception_ptr error;  // guarded by done_mutex
+  };
+  auto state = std::make_shared<loop_state>();
+  state->count = count;
+
+  const std::size_t jobs =
+      std::min<std::size_t>(workers_.size(), count);
+  state->pending_jobs = jobs;
+
+  const auto run_slice = [state, &body] {
+    std::exception_ptr local_error;
+    for (;;) {
+      const std::size_t i =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->count) break;
+      try {
+        body(i);
+      } catch (...) {
+        local_error = std::current_exception();
+        state->next.store(state->count, std::memory_order_relaxed);
+        break;
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(state->done_mutex);
+      if (local_error && !state->error) state->error = local_error;
+      --state->pending_jobs;
+    }
+    state->done.notify_one();
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    DLB_EXPECTS(!shutting_down_);
+    for (std::size_t j = 0; j < jobs; ++j) queue_.emplace_back(run_slice);
+  }
+  wake_.notify_all();
+
+  std::unique_lock<std::mutex> lock(state->done_mutex);
+  state->done.wait(lock, [&state] { return state->pending_jobs == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace dlb::runtime

@@ -1,0 +1,57 @@
+// A fixed-size thread pool with a `parallel_for_each` primitive.
+//
+// Deliberately work-stealing-free: the pool exists so that experiment grids
+// can spread *independent, deterministic* cells over cores, and determinism
+// is easiest to audit when scheduling is a plain shared counter. Each
+// parallel_for_each call hands indices 0..count-1 to the workers through one
+// atomic; the body must therefore not depend on which thread (or in which
+// order) an index is executed — grid cells derive all randomness from their
+// own index, never from thread identity.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dlb::runtime {
+
+class thread_pool {
+ public:
+  /// Spawns `num_threads` >= 1 workers (throws contract_violation on 0).
+  explicit thread_pool(unsigned num_threads);
+
+  /// Joins all workers; outstanding parallel_for_each calls must have
+  /// returned before destruction.
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  [[nodiscard]] unsigned num_threads() const noexcept;
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1.
+  [[nodiscard]] static unsigned default_threads() noexcept;
+
+  /// Runs body(i) for every i in [0, count), distributing indices over the
+  /// workers, and blocks until all have finished. If any invocation throws,
+  /// no further indices are started and the first captured exception is
+  /// rethrown here after the in-flight ones drain. Reentrant calls from
+  /// inside a body are not supported (they would deadlock a 1-thread pool).
+  void parallel_for_each(std::size_t count,
+                         const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace dlb::runtime

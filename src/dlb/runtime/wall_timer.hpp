@@ -1,0 +1,28 @@
+// Monotonic wall-clock stopwatch. All perf timing in dlb goes through
+// steady_clock: wall timestamps from system_clock can jump backwards under
+// NTP and must never feed perf datapoints.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dlb::runtime {
+
+class wall_timer {
+ public:
+  wall_timer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Nanoseconds since construction (or the last restart()).
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dlb::runtime

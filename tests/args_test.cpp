@@ -57,5 +57,52 @@ TEST(ArgsTest, ValueWithEqualsSign) {
   EXPECT_EQ(args.get("expr", ""), "a=b");
 }
 
+TEST(ArgsTest, DashedKeyConsumesNextTokenAsValue) {
+  const arg_map args({"--grid", "table1", "--threads", "8",
+                      "--master-seed", "42"});
+  EXPECT_EQ(args.get("grid", ""), "table1");
+  EXPECT_EQ(args.get_int("threads", 0), 8);
+  EXPECT_EQ(args.get_int("master-seed", 0), 42);
+}
+
+TEST(ArgsTest, DashedKeyWithEqualsSign) {
+  const arg_map args({"--grid=table1", "-n=64"});
+  EXPECT_EQ(args.get("grid", ""), "table1");
+  EXPECT_EQ(args.get_int("n", 0), 64);
+}
+
+TEST(ArgsTest, TrailingDashedTokenIsAFlag) {
+  const arg_map args({"--list"});
+  EXPECT_TRUE(args.has("list"));
+  EXPECT_EQ(args.get("list", ""), "true");
+}
+
+TEST(ArgsTest, DashedFlagFollowedByAnotherKeyStaysAFlag) {
+  const arg_map args({"--table", "--grid", "table1"});
+  EXPECT_EQ(args.get("table", ""), "true");
+  EXPECT_EQ(args.get("grid", ""), "table1");
+}
+
+TEST(ArgsTest, NegativeNumbersAreValuesNotKeys) {
+  const arg_map args({"--offset", "-5", "--threshold", "-.5"});
+  EXPECT_EQ(args.get_int("offset", 0), -5);
+  EXPECT_DOUBLE_EQ(args.get_real("threshold", 0.0), -0.5);
+}
+
+TEST(ArgsTest, DashLedStringValueNeedsEqualsSpelling) {
+  const arg_map args({"--out=-results.json"});
+  EXPECT_EQ(args.get("out", ""), "-results.json");
+}
+
+TEST(ArgsTest, DashedFlagDoesNotSwallowKeyValueTokens) {
+  const arg_map args({"--table", "master-seed=9"});
+  EXPECT_EQ(args.get("table", ""), "true");
+  EXPECT_EQ(args.get_int("master-seed", 1), 9);
+}
+
+TEST(ArgsTest, DashedAndPlainSpellingsCollide) {
+  EXPECT_THROW(arg_map({"--seed", "1", "seed=2"}), contract_violation);
+}
+
 }  // namespace
 }  // namespace dlb::analysis

@@ -1,0 +1,127 @@
+// Result-sink semantics: the JSON wire format round-trips exactly, timing
+// can be masked, and concurrent adds restore canonical cell order.
+#include "dlb/runtime/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/runtime/thread_pool.hpp"
+
+namespace dlb::runtime {
+namespace {
+
+result_row sample_row() {
+  result_row row;
+  row.cell = 42;
+  row.grid = "table1";
+  row.scenario = "hypercube(dim=7)";
+  row.process = "Alg1 (this paper)";
+  row.model = "diffusion";
+  row.n = 128;
+  row.seed = 0xdeadbeefcafef00dULL;
+  row.rounds = 1234;
+  row.converged = true;
+  row.final_max_min = 6.25;
+  row.final_max_avg = 3.125;
+  row.mean_max_min = 0.1;
+  row.peak_max_min = 17;
+  row.dummy_created = 3;
+  row.wall_ns = 987654321;
+  return row;
+}
+
+TEST(ResultSinkTest, RowRoundTripsThroughJson) {
+  const result_row row = sample_row();
+  EXPECT_EQ(parse_row(to_json(row)), row);
+}
+
+TEST(ResultSinkTest, RoundTripPreservesAwkwardReals) {
+  result_row row = sample_row();
+  row.final_max_min = 0.1 + 0.2;          // 0.30000000000000004
+  row.final_max_avg = 1.0 / 3.0;
+  row.mean_max_min = 1e-300;
+  row.peak_max_min = 123456789.123456789;
+  EXPECT_EQ(parse_row(to_json(row)), row);
+}
+
+TEST(ResultSinkTest, RoundTripPreservesStringEscapes) {
+  result_row row = sample_row();
+  row.process = "weird \"name\" with \\ and \n and \t";
+  row.scenario = std::string("ctrl: ") + char(1);
+  EXPECT_EQ(parse_row(to_json(row)), row);
+}
+
+TEST(ResultSinkTest, TimingExcludeMasksWallClockOnly) {
+  const result_row row = sample_row();
+  result_row masked = parse_row(to_json(row, timing::exclude));
+  EXPECT_EQ(masked.wall_ns, 0);
+  masked.wall_ns = row.wall_ns;
+  EXPECT_EQ(masked, row);
+}
+
+TEST(ResultSinkTest, SchemaCarriesTheIssueFields) {
+  const std::string json = to_json(sample_row());
+  for (const char* key :
+       {"\"scenario\"", "\"process\"", "\"n\"", "\"seed\"", "\"rounds\"",
+        "\"final_max_min\"", "\"final_max_avg\"", "\"dummy_created\"",
+        "\"wall_ns\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ResultSinkTest, ArrayRoundTripsThroughWriteJson) {
+  std::vector<result_row> rows{sample_row(), sample_row()};
+  rows[1].cell = 43;
+  rows[1].process = "round-down [37]";
+  std::ostringstream os;
+  write_json(os, rows);
+  EXPECT_EQ(parse_json(os.str()), rows);
+}
+
+TEST(ResultSinkTest, EmptyArrayRoundTrips) {
+  std::ostringstream os;
+  write_json(os, {});
+  EXPECT_TRUE(parse_json(os.str()).empty());
+}
+
+TEST(ResultSinkTest, MalformedJsonThrows) {
+  EXPECT_THROW((void)parse_row("{\"cell\":"), contract_violation);
+  EXPECT_THROW((void)parse_row("not json"), contract_violation);
+  EXPECT_THROW((void)parse_json("[{}"), contract_violation);
+}
+
+TEST(ResultSinkTest, TakeRowsSortsByCellIndex) {
+  result_sink sink;
+  for (const std::uint64_t cell : {5, 1, 4, 2, 0, 3}) {
+    result_row row;
+    row.cell = cell;
+    sink.add(row);
+  }
+  const auto rows = sink.take_rows();
+  ASSERT_EQ(rows.size(), 6u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].cell, i);
+  }
+  EXPECT_EQ(sink.size(), 0u);  // take_rows drains
+}
+
+TEST(ResultSinkTest, ConcurrentAddsLoseNothing) {
+  result_sink sink;
+  thread_pool pool(4);
+  constexpr std::size_t count = 2000;
+  pool.parallel_for_each(count, [&](std::size_t i) {
+    result_row row;
+    row.cell = i;
+    sink.add(row);
+  });
+  const auto rows = sink.take_rows();
+  ASSERT_EQ(rows.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(rows[i].cell, i);
+  }
+}
+
+}  // namespace
+}  // namespace dlb::runtime

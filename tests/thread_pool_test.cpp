@@ -1,0 +1,98 @@
+// Thread-pool semantics: full coverage of indices, empty grids, grids wider
+// than the pool, exception propagation, and reuse across calls.
+#include "dlb/runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::runtime {
+namespace {
+
+TEST(ThreadPoolTest, RejectsZeroThreads) {
+  EXPECT_THROW(thread_pool(0), contract_violation);
+}
+
+TEST(ThreadPoolTest, ReportsItsSize) {
+  thread_pool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  EXPECT_GE(thread_pool::default_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, EmptyGridReturnsImmediately) {
+  thread_pool pool(2);
+  bool touched = false;
+  pool.parallel_for_each(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  thread_pool pool(4);
+  constexpr std::size_t count = 1000;  // far more cells than threads
+  std::vector<std::atomic<int>> hits(count);
+  pool.parallel_for_each(count, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCoversAllIndices) {
+  thread_pool pool(1);
+  std::set<std::size_t> seen;
+  pool.parallel_for_each(17, [&](std::size_t i) { seen.insert(i); });
+  EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(ThreadPoolTest, PropagatesBodyException) {
+  thread_pool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_each(100,
+                             [](std::size_t i) {
+                               if (i == 13) throw std::runtime_error("boom");
+                             }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionStopsSchedulingNewIndices) {
+  thread_pool pool(2);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for_each(100'000, [&](std::size_t) {
+      ++executed;
+      throw std::runtime_error("first cell fails");
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  // Each worker can be at most one cell deep when the failure lands.
+  EXPECT_LE(executed.load(), 2);
+}
+
+TEST(ThreadPoolTest, UsableAgainAfterException) {
+  thread_pool pool(2);
+  EXPECT_THROW(pool.parallel_for_each(
+                   4, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.parallel_for_each(10, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  thread_pool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for_each(round, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 49 * 50 / 2);
+}
+
+}  // namespace
+}  // namespace dlb::runtime
