@@ -1,142 +1,15 @@
-// Ablations of the design choices called out in DESIGN.md:
-//  A) Algorithm 1 task-removal policy (real-first vs dummy-first)
-//  B) FOS α scheme (1/(2·max d) vs 1/(max d + 1)) — balancing time and
-//     final discrepancy
-//  C) periodic-matching schedule colouring (Misra-Gries Δ+1 vs greedy 2Δ-1)
-//     — period length and balancing time
-//  D) Algorithm 2 laziness of the random-walk fine balancer [19] (extension
-//     baseline) — annihilation speed
+// Ablations of the design choices called out in DESIGN.md, as the
+// `ablation` grid:
+//  A) Algorithm 1 task-removal policy (real-first vs dummy-first) in the
+//     dummy-minting SOS-overshoot regime,
+//  B) FOS α scheme (1/(2·max d) vs 1/(max d+1)) — λ and final discrepancy,
+//  C) periodic-matching colouring (Misra-Gries Δ+1 vs greedy 2Δ-1) —
+//     period length vs balancing time,
+//  D) random-walk fine balancer [19]: walker laziness vs annihilation.
+// Same experiment: `dlb_run --grid ablation --table`.
 #include "bench_common.hpp"
 
-#include "dlb/baselines/random_walk_balancer.hpp"
-
-namespace {
-
-using namespace dlb;
-using namespace dlb::bench;
-
-void removal_policy_ablation() {
-  // Dummy-minting scenario (SOS overshoot) where the policy matters.
-  auto g = std::make_shared<const graph>(generators::path(16));
-  const node_id n = g->num_nodes();
-  const speed_vector s = uniform_speeds(n);
-  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
-
-  analysis::ascii_table table(
-      {"removal policy", "dummies created", "max-min (real)",
-       "max-avg (real)"});
-  for (const auto policy :
-       {removal_policy::real_first, removal_policy::dummy_first}) {
-    algorithm1 alg(make_sos(g, s, alpha, 1.95),
-                   task_assignment::tokens(
-                       workload::point_mass(n, 0, 100 * n)),
-                   {.removal = policy, .wmax_override = 0});
-    const auto r = run_experiment(alg, alg.continuous(), round_cap);
-    table.add_row({policy == removal_policy::real_first ? "real-first"
-                                                        : "dummy-first",
-                   std::to_string(r.dummy_created),
-                   analysis::ascii_table::fmt(r.final_max_min, 2),
-                   analysis::ascii_table::fmt(r.final_max_avg, 2)});
-  }
-  std::cout << "\n=== Ablation A: Alg1 removal policy (SOS beta=1.95 on "
-               "path(16), the dummy-minting regime) ===\n";
-  table.print(std::cout);
-}
-
-void alpha_scheme_ablation() {
-  analysis::ascii_table table({"graph", "scheme", "lambda", "T_FOS",
-                               "Alg1 max-min"});
-  for (const auto& [label, gptr] :
-       {std::pair<std::string, std::shared_ptr<const graph>>{
-            "torus-2d(8)",
-            std::make_shared<const graph>(generators::torus_2d(8))},
-        {"hypercube(6)",
-         std::make_shared<const graph>(generators::hypercube(6))}}) {
-    for (const auto scheme :
-         {alpha_scheme::half_max_degree, alpha_scheme::max_degree_plus_one}) {
-      const node_id n = gptr->num_nodes();
-      const speed_vector s = uniform_speeds(n);
-      const auto alpha = make_alphas(*gptr, scheme);
-      const real_t lambda = diffusion_lambda(*gptr, s, alpha);
-      const auto tokens = spike_workload(*gptr, s, 50);
-      algorithm1 alg(make_fos(gptr, s, alpha),
-                     task_assignment::tokens(tokens));
-      const auto r = run_experiment(alg, alg.continuous(), round_cap);
-      table.add_row({label,
-                     scheme == alpha_scheme::half_max_degree
-                         ? "1/(2 max d)"
-                         : "1/(max d + 1)",
-                     analysis::ascii_table::fmt(lambda, 4),
-                     std::to_string(r.rounds),
-                     analysis::ascii_table::fmt(r.final_max_min, 2)});
-    }
-  }
-  std::cout << "\n=== Ablation B: FOS alpha scheme — smaller alpha => lazier "
-               "chain => larger lambda and T ===\n";
-  table.print(std::cout);
-}
-
-void coloring_ablation() {
-  analysis::ascii_table table(
-      {"graph", "colouring", "colours (period)", "T_periodic"});
-  for (const auto& [label, gptr] :
-       {std::pair<std::string, std::shared_ptr<const graph>>{
-            "hypercube(6)",
-            std::make_shared<const graph>(generators::hypercube(6))},
-        {"ring-cliques(6,5)",
-         std::make_shared<const graph>(generators::ring_of_cliques(6, 5))}}) {
-    const node_id n = gptr->num_nodes();
-    const speed_vector s = uniform_speeds(n);
-    std::vector<real_t> x0(static_cast<size_t>(n), 0.0);
-    x0[0] = static_cast<real_t>(100 * n);
-    for (const bool use_mg : {true, false}) {
-      const edge_coloring c = use_mg ? misra_gries_edge_coloring(*gptr)
-                                     : greedy_edge_coloring(*gptr);
-      auto p = make_periodic_matching_process(gptr, s, to_matchings(*gptr, c));
-      const auto bt = measure_balancing_time(*p, x0, round_cap);
-      table.add_row({label, use_mg ? "Misra-Gries (Δ+1)" : "greedy (2Δ-1)",
-                     std::to_string(c.num_colors),
-                     bt.converged ? std::to_string(bt.rounds) : ">cap"});
-    }
-  }
-  std::cout << "\n=== Ablation C: periodic schedule colouring — shorter "
-               "periods balance sooner ===\n";
-  table.print(std::cout);
-}
-
-void random_walk_laziness_ablation() {
-  auto g = std::make_shared<const graph>(generators::random_regular(64, 4, 3));
-  const node_id n = g->num_nodes();
-  const speed_vector s = uniform_speeds(n);
-  // Note: with threshold α = ⌈m/n⌉ + slack, n·α - m negative walkers can
-  // never annihilate (no positive partner exists); progress is measured by
-  // the *positive* walker count reaching zero.
-  analysis::ascii_table table({"laziness", "positive walkers left",
-                               "negative walkers left", "max-min"});
-  for (const double lazy : {0.0, 0.25, 0.5, 0.75}) {
-    random_walk_balancer p(
-        g, s, make_alphas(*g, alpha_scheme::half_max_degree),
-        workload::point_mass(n, 0, 100 * n), /*seed=*/5,
-        {.phase1_rounds = 200, .slack = 1, .laziness = lazy});
-    for (int t = 0; t < 2200; ++t) p.step();
-    table.add_row({analysis::ascii_table::fmt(lazy, 2),
-                   std::to_string(p.positive_tokens()),
-                   std::to_string(p.negative_tokens()),
-                   analysis::ascii_table::fmt(
-                       max_min_discrepancy(p.loads(), s), 2)});
-  }
-  std::cout << "\n=== Ablation D: random-walk fine balancing [19] — walker "
-               "laziness vs annihilation progress (n·α-m negative walkers "
-               "are structurally permanent) ===\n";
-  table.print(std::cout);
-}
-
-}  // namespace
-
 int main() {
-  removal_policy_ablation();
-  alpha_scheme_ablation();
-  coloring_ablation();
-  random_walk_laziness_ablation();
-  return 0;
+  return dlb::bench::run_grid_bench("ablation", /*master_seed=*/19,
+                                    "ablation");
 }

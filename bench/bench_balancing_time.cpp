@@ -2,77 +2,15 @@
 //
 //  * FOS:   T = O(log(Kn)/(1-λ))
 //  * SOS:   T = O(log(Kn)/sqrt(1-λ)) at β = 2/(1+sqrt(1-λ²))
-//  * periodic matchings: T = O(d~·log(Kn)/(1-λ(P)))
-//  * random matchings:   T = O(d·log(Kn)/γ)
-// The bench measures T on each family and prints it next to the spectral
-// quantities, so the correlation (and the FOS/SOS gap) is visible.
+//  * periodic matchings: T vs the colouring period
+//  * random matchings:   T vs the algebraic connectivity γ
+// The `balancing-time` grid measures T per (graph, process) and stores λ
+// and the per-process predictor in the `extra` columns; the table view
+// pivots T. Shape: T_FOS tracks 1/(1-λ), T_SOS tracks 1/sqrt(1-λ) — the gap
+// widens on poor expanders. Same: `dlb_run --grid balancing-time --table`.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace dlb;
-using namespace dlb::bench;
-
-void run() {
-  struct case_t {
-    std::string name;
-    std::shared_ptr<const graph> g;
-  };
-  const std::vector<case_t> cases = {
-      {"hypercube(6)", std::make_shared<const graph>(generators::hypercube(6))},
-      {"torus-2d(8)", std::make_shared<const graph>(generators::torus_2d(8))},
-      {"rand-4-reg(64)",
-       std::make_shared<const graph>(generators::random_regular(64, 4, 5))},
-      {"ring-cliques(8,5)",
-       std::make_shared<const graph>(generators::ring_of_cliques(8, 5))},
-      {"cycle(64)", std::make_shared<const graph>(generators::cycle(64))},
-  };
-
-  analysis::ascii_table table({"graph", "lambda", "1/(1-l)", "T_FOS",
-                               "1/sqrt(1-l)", "T_SOS", "gamma", "T_periodic",
-                               "T_random"});
-  for (const auto& c : cases) {
-    const node_id n = c.g->num_nodes();
-    const speed_vector s = uniform_speeds(n);
-    const auto alpha = make_alphas(*c.g, alpha_scheme::half_max_degree);
-    const real_t lambda = diffusion_lambda(*c.g, s, alpha);
-    const real_t gamma = laplacian_gamma(*c.g);
-
-    std::vector<real_t> x0(static_cast<size_t>(n), 0.0);
-    x0[0] = static_cast<real_t>(100 * n);
-
-    auto fos = make_fos(c.g, s, alpha);
-    const auto t_fos = measure_balancing_time(*fos, x0, round_cap);
-    auto sos = make_sos(c.g, s, alpha, optimal_sos_beta(lambda));
-    const auto t_sos = measure_balancing_time(*sos, x0, round_cap);
-
-    const edge_coloring col = misra_gries_edge_coloring(*c.g);
-    auto per = make_periodic_matching_process(c.g, s, to_matchings(*c.g, col));
-    const auto t_per = measure_balancing_time(*per, x0, round_cap);
-    auto rnd = make_random_matching_process(c.g, s, /*seed=*/3);
-    const auto t_rnd = measure_balancing_time(*rnd, x0, round_cap);
-
-    const auto show = [](const balancing_time_result& r) {
-      return r.converged ? std::to_string(r.rounds) : std::string(">cap");
-    };
-    table.add_row({c.name, analysis::ascii_table::fmt(lambda, 5),
-                   analysis::ascii_table::fmt(1.0 / (1.0 - lambda), 1),
-                   show(t_fos),
-                   analysis::ascii_table::fmt(
-                       1.0 / std::sqrt(1.0 - lambda), 1),
-                   show(t_sos), analysis::ascii_table::fmt(gamma, 4),
-                   show(t_per), show(t_rnd)});
-  }
-  std::cout << "\n=== Figure F: balancing time T vs spectral predictions "
-               "(spike of 100n tokens, K≈100n) ===\n";
-  table.print(std::cout);
-  std::cout << "Shape: T_FOS tracks 1/(1-lambda); T_SOS tracks "
-               "1/sqrt(1-lambda) — the gap widens on poor expanders.\n";
-}
-
-}  // namespace
-
 int main() {
-  run();
-  return 0;
+  return dlb::bench::run_grid_bench("balancing_time", /*master_seed=*/23,
+                                    "balancing-time");
 }

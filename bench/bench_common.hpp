@@ -1,96 +1,71 @@
 // Shared plumbing for the table/figure reproduction benches.
 //
-// The competitor set (flow imitation vs. the rounding/excess-token
-// baselines) lives in the library as `workload::competitors`; this header
-// re-exports it under the historical `dlb::bench` names and adds the
-// bench-side conveniences: single-run and multi-seed drivers, the spike
-// workload, and steady_clock wall timing. Grid-shaped benches should prefer
-// `dlb::runtime` (experiment_grid + result_sink) over these loops.
+// Every bench is a thin wrapper over a named `dlb::runtime` grid (see
+// src/dlb/runtime/grids.cpp and docs/REPRODUCING.md): it builds the grid,
+// runs it across all cores, renders the grid's table view, and writes every
+// cell — real per-cell wall-clock included — to BENCH_<tag>.json. The same
+// grids are addressable interactively via `dlb_run --grid <name>`; the
+// benches exist so `make && ./bench_x` reproduces a figure with the paper's
+// canonical sizes and master seeds, and so CI has stable JSON artifacts to
+// feed bench/check_regression.py.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
-#include <functional>
+#include <fstream>
 #include <iostream>
-#include <memory>
+#include <iterator>
 #include <string>
 #include <vector>
 
-#include "dlb/analysis/stats.hpp"
-#include "dlb/analysis/table.hpp"
-#include "dlb/baselines/excess_tokens.hpp"
-#include "dlb/baselines/local_rounding.hpp"
-#include "dlb/core/algorithm1.hpp"
-#include "dlb/core/algorithm2.hpp"
-#include "dlb/core/diffusion_matrix.hpp"
-#include "dlb/core/engine.hpp"
-#include "dlb/core/linear_process.hpp"
-#include "dlb/core/metrics.hpp"
-#include "dlb/graph/coloring.hpp"
-#include "dlb/graph/generators.hpp"
-#include "dlb/graph/spectral.hpp"
-#include "dlb/runtime/wall_timer.hpp"
-#include "dlb/workload/competitors.hpp"
-#include "dlb/workload/initial_load.hpp"
-#include "dlb/workload/scenario.hpp"
+#include "dlb/runtime/grids.hpp"
 
 namespace dlb::bench {
 
-inline constexpr round_t round_cap = 2'000'000;
-
-using workload::competitor;
-using workload::make_continuous;
-using workload::make_schedule;
-using workload::model;
-using workload::model_name;
-using workload::spike_workload;
-using workload::standard_competitors;
-
-/// Monotonic wall-clock stopwatch (steady_clock; see runtime/wall_timer.hpp
-/// for why system_clock is banned from perf datapoints).
-using runtime::wall_timer;
-
-/// Result of running one competitor once.
-struct run_outcome {
-  real_t max_min = 0;
-  real_t max_avg = 0;
-  round_t rounds = 0;
-  bool converged = false;
-  weight_t dummy = 0;
-  std::int64_t wall_ns = 0;  ///< steady_clock time spent inside the engine
+/// One batch of a bench: a named grid at one option set.
+struct grid_batch {
+  std::string grid;
+  runtime::grid_options opts;
 };
 
-/// Runs a competitor to the continuous balancing time of `m`'s reference
-/// process started from the same load vector.
-inline run_outcome run_once(const competitor& c,
-                            std::shared_ptr<const graph> g,
-                            const speed_vector& s,
-                            const std::vector<weight_t>& tokens, model m,
-                            std::uint64_t seed) {
-  auto d = c.build(g, s, tokens, m, seed);
-  auto reference = make_continuous(m, g, s, seed);
-  const wall_timer timer;
-  const experiment_result r = run_experiment(*d, *reference, round_cap);
-  return {r.final_max_min,     r.final_max_avg, r.rounds,
-          r.continuous_converged, r.dummy_created, timer.elapsed_ns()};
+/// Runs every batch on one shared pool and writes the combined rows to
+/// BENCH_<file_tag>.json. When a grid name repeats across batches (size
+/// sweeps), the grid field is suffixed `-n<target>` so (grid, cell) stays a
+/// unique key within the file.
+inline int run_grid_bench(const std::string& file_tag,
+                          std::uint64_t master_seed,
+                          const std::vector<grid_batch>& batches) {
+  runtime::thread_pool pool(runtime::thread_pool::default_threads());
+  std::vector<runtime::result_row> rows;
+  for (const grid_batch& batch : batches) {
+    runtime::grid_spec spec =
+        runtime::make_named_grid(batch.grid, batch.opts, master_seed);
+    int batches_of_grid = 0;
+    for (const grid_batch& other : batches) {
+      if (other.grid == batch.grid) ++batches_of_grid;
+    }
+    if (batches_of_grid > 1) {
+      spec.name += "-n" + std::to_string(batch.opts.target_n);
+    }
+    auto batch_rows = runtime::run_grid(spec, master_seed, pool);
+    std::cout << "\n=== " << spec.name << " (n≈" << batch.opts.target_n
+              << ", " << batch.opts.repeats
+              << " seeds for randomized): " << spec.description << " ===\n";
+    runtime::render_view(spec, batch_rows).print(std::cout);
+    rows.insert(rows.end(), std::make_move_iterator(batch_rows.begin()),
+                std::make_move_iterator(batch_rows.end()));
+  }
+  const std::string path = "BENCH_" + file_tag + ".json";
+  std::ofstream out(path);
+  runtime::write_json(out, rows, runtime::timing::include);
+  std::cout << "\nwrote " << rows.size() << " cells to " << path << "\n";
+  return 0;
 }
 
-/// Runs `repeats` seeds (1 for deterministic rows) and returns the summary of
-/// final max-min discrepancies.
-inline analysis::summary run_competitor(const competitor& c,
-                                        std::shared_ptr<const graph> g,
-                                        const speed_vector& s,
-                                        const std::vector<weight_t>& tokens,
-                                        model m, int repeats,
-                                        std::uint64_t seed0 = 1) {
-  const int reps = c.randomized ? repeats : 1;
-  std::vector<real_t> finals;
-  for (int r = 0; r < reps; ++r) {
-    finals.push_back(
-        run_once(c, g, s, tokens, m, seed0 + static_cast<std::uint64_t>(r))
-            .max_min);
-  }
-  return analysis::summarize(std::move(finals));
+/// Single-grid convenience at the default option set.
+inline int run_grid_bench(const std::string& file_tag,
+                          std::uint64_t master_seed, const std::string& grid,
+                          runtime::grid_options opts = {}) {
+  return run_grid_bench(file_tag, master_seed, {{grid, opts}});
 }
 
 }  // namespace dlb::bench

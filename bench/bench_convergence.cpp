@@ -1,112 +1,17 @@
-// Figure C: convergence traces — max-min discrepancy and potential Φ per
-// round for the continuous processes (FOS, SOS with optimal β) and their
+// Figure C: convergence traces — max-min discrepancy at the 10% checkpoints
+// of T^FOS for the continuous processes (FOS, SOS with optimal β) and their
 // discretizations (Alg1, Alg2, round-down).
 //
 // Shape to check: the discrete curves track the continuous one until the
 // rounding floor; SOS reaches it in ~sqrt fewer rounds than FOS; round-down
-// plateaus far above Alg1 on the low-expansion graph.
+// plateaus far above Alg1 on the low-expansion graph. The checkpoints are
+// the `t/T=0.0 .. 1.0` columns of the `convergence` grid's extras. Same
+// experiment: `dlb_run --grid convergence --table`.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace dlb;
-using namespace dlb::bench;
-
-struct traced_series {
-  std::string name;
-  std::vector<real_t> max_min;  // indexed by checkpoint
-};
-
-void run_graph(const std::string& label, std::shared_ptr<const graph> g) {
-  const node_id n = g->num_nodes();
-  const speed_vector s = uniform_speeds(n);
-  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
-  const real_t lambda = diffusion_lambda(*g, s, alpha);
-  const auto tokens = spike_workload(*g, s, /*spike_per_node=*/100);
-  std::vector<real_t> x0(tokens.begin(), tokens.end());
-
-  // Discover T for FOS to place checkpoints.
-  auto probe = make_fos(g, s, alpha);
-  const auto bt = measure_balancing_time(*probe, x0, round_cap);
-  const round_t T = bt.rounds;
-  std::vector<round_t> checkpoints;
-  for (int k = 0; k <= 10; ++k) checkpoints.push_back(k * T / 10);
-
-  const auto sample_continuous = [&](continuous_process& p) {
-    std::vector<real_t> series;
-    p.reset(x0);
-    std::size_t next = 0;
-    for (round_t t = 0; t <= T; ++t) {
-      if (next < checkpoints.size() && t == checkpoints[next]) {
-        series.push_back(max_min_discrepancy(p.loads(), s));
-        ++next;
-      }
-      if (t < T) p.step();
-    }
-    return series;
-  };
-  const auto sample_discrete = [&](discrete_process& p) {
-    std::vector<real_t> series;
-    std::size_t next = 0;
-    for (round_t t = 0; t <= T; ++t) {
-      if (next < checkpoints.size() && t == checkpoints[next]) {
-        series.push_back(max_min_discrepancy(p.real_loads(), s));
-        ++next;
-      }
-      if (t < T) p.step();
-    }
-    return series;
-  };
-
-  std::vector<traced_series> series;
-  {
-    auto fos = make_fos(g, s, alpha);
-    series.push_back({"FOS (continuous)", sample_continuous(*fos)});
-  }
-  {
-    auto sos = make_sos(g, s, alpha, optimal_sos_beta(lambda));
-    series.push_back({"SOS opt-beta (continuous)", sample_continuous(*sos)});
-  }
-  {
-    algorithm1 alg(make_fos(g, s, alpha), task_assignment::tokens(tokens));
-    series.push_back({"Alg1(FOS)", sample_discrete(alg)});
-  }
-  {
-    algorithm2 alg(make_fos(g, s, alpha), tokens, /*seed=*/5);
-    series.push_back({"Alg2(FOS)", sample_discrete(alg)});
-  }
-  {
-    local_rounding_process down(
-        g, s, std::make_unique<diffusion_alpha_schedule>(alpha),
-        rounding_policy::round_down, tokens, /*seed=*/5);
-    series.push_back({"round-down(FOS)", sample_discrete(down)});
-  }
-
-  std::vector<std::string> headers{"process"};
-  for (const round_t c : checkpoints) {
-    headers.push_back("t=" + std::to_string(c));
-  }
-  analysis::ascii_table table(std::move(headers));
-  for (const auto& tr : series) {
-    std::vector<std::string> cells{tr.name};
-    for (const real_t v : tr.max_min) {
-      cells.push_back(analysis::ascii_table::fmt(v, 1));
-    }
-    table.add_row(std::move(cells));
-  }
-
-  std::cout << "\n=== Figure C (" << label << ", n=" << n
-            << ", lambda=" << analysis::ascii_table::fmt(lambda, 4)
-            << ", T^FOS=" << T << "): max-min discrepancy per round ===\n";
-  table.print(std::cout);
-}
-
-}  // namespace
-
 int main() {
-  run_graph("torus-2d(16)",
-            std::make_shared<const graph>(generators::torus_2d(16)));
-  run_graph("ring-of-cliques(8,6)",
-            std::make_shared<const graph>(generators::ring_of_cliques(8, 6)));
-  return 0;
+  dlb::runtime::grid_options opts;
+  opts.target_n = 256;  // torus-2d(16) + ring-of-cliques, as in the paper
+  return dlb::bench::run_grid_bench("convergence", /*master_seed=*/13,
+                                    "convergence", opts);
 }

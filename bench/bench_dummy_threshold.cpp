@@ -1,142 +1,15 @@
 // Figure E: the initial-load threshold for dummy-token usage.
 //
 // Lemma 7: if x(0) majorizes d·w_max·(s_1..s_n), Algorithm 1 never touches
-// the infinite source (and the max-min bound applies). Below the threshold
-// dummies appear and only max-avg is controlled. This bench sweeps the
-// per-node floor ℓ around the threshold and reports dummy usage and both
-// discrepancies; an analogous sweep covers Algorithm 2's d/4+2c·sqrt(d log n)
-// threshold.
+// the infinite source. The `dummy-threshold` grid sweeps the per-node floor
+// ℓ around that threshold on a star (the fan-out stress case), the analogous
+// Alg2 sweep on a hypercube, the SOS-overshoot regime that genuinely mints
+// dummies, and the Theorem 3(1) dummy-preload device. Floors, thresholds and
+// dummy counts land in the `extra` columns. Same experiment:
+// `dlb_run --grid dummy-threshold --table`.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace dlb;
-using namespace dlb::bench;
-
-void alg1_threshold() {
-  // The star is the stress case for the infinite source: the hub must fan
-  // flow out over d = n-1 edges while its own cumulative inflow still has
-  // rounding slack, so an under-provisioned hub mints dummies.
-  auto g = std::make_shared<const graph>(generators::star(32));
-  const node_id n = g->num_nodes();
-  const weight_t d = g->max_degree();  // 31 = d·w_max for tokens
-  const speed_vector s = uniform_speeds(n);
-
-  analysis::ascii_table table({"floor ℓ", "dummies", "max-min", "max-avg",
-                               "threshold d·w_max"});
-  for (const weight_t ell : {0, 1, 2, 4, 8, 16, 24, 31, 40}) {
-    const auto tokens = workload::add_speed_multiple(
-        workload::point_mass(n, /*at=*/1, 60 * n), s, ell);
-    algorithm1 alg(
-        make_fos(g, s, make_alphas(*g, alpha_scheme::half_max_degree)),
-        task_assignment::tokens(tokens));
-    const auto r = run_experiment(alg, alg.continuous(), round_cap);
-    table.add_row({std::to_string(ell), std::to_string(r.dummy_created),
-                   analysis::ascii_table::fmt(r.final_max_min, 2),
-                   analysis::ascii_table::fmt(r.final_max_avg, 2),
-                   ell == d ? "<== threshold" : ""});
-  }
-  std::cout << "\n=== Figure E.1: Alg1(FOS) on star(32) — dummy usage vs "
-               "initial floor ℓ (spike of 60n tokens on leaf 1) ===\n";
-  table.print(std::cout);
-  std::cout << "Lemma 7 predicts zero dummies for ℓ >= d·w_max = " << d
-            << "; below it, usage is workload-dependent. Empirically FOS\n"
-               "imitation never needs the source: floor semantics keep "
-               "f^D <= f^A on every outgoing edge.\n";
-}
-
-void sos_beta_sweep() {
-  // The one process that genuinely mints dummies: SOS with large β induces
-  // negative *continuous* load (Definition 1), and the discrete imitator
-  // covers the overdraft from the infinite source. Theorem 3's conditions
-  // exclude this case; the algorithm still runs, and max-avg (measured on
-  // real loads after dummy elimination) stays controlled.
-  auto g = std::make_shared<const graph>(generators::path(16));
-  const node_id n = g->num_nodes();
-  const speed_vector s = uniform_speeds(n);
-  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
-
-  analysis::ascii_table table({"beta", "continuous negative load?",
-                               "dummies", "max-min (real)",
-                               "max-avg (real)"});
-  for (const real_t beta : {1.0, 1.3, 1.6, 1.8, 1.95}) {
-    const auto tokens = workload::point_mass(n, 0, 100 * n);
-    algorithm1 alg(make_sos(g, s, alpha, beta),
-                   task_assignment::tokens(tokens));
-    const auto r = run_experiment(alg, alg.continuous(), round_cap);
-    table.add_row({analysis::ascii_table::fmt(beta, 2),
-                   r.continuous_negative_load ? "yes" : "no",
-                   std::to_string(r.dummy_created),
-                   analysis::ascii_table::fmt(r.final_max_min, 2),
-                   analysis::ascii_table::fmt(r.final_max_avg, 2)});
-  }
-  std::cout << "\n=== Figure E.4: Alg1(SOS) on path(16) — SOS overshoot is "
-               "the dummy-minting regime ===\n";
-  table.print(std::cout);
-}
-
-void alg2_threshold() {
-  auto g = std::make_shared<const graph>(generators::hypercube(5));
-  const node_id n = g->num_nodes();
-  const real_t d = static_cast<real_t>(g->max_degree());
-  const speed_vector s = uniform_speeds(n);
-  const real_t theory =
-      d / 4.0 + 2.0 * std::sqrt(d * std::log(static_cast<real_t>(n)));
-
-  analysis::ascii_table table(
-      {"floor ℓ", "dummies (3-seed mean)", "max-min (mean)"});
-  for (weight_t ell = 0; ell <= 16; ell += 2) {
-    real_t dummies = 0, disc = 0;
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-      const auto tokens = workload::add_speed_multiple(
-          workload::point_mass(n, 0, 60 * n), s, ell);
-      algorithm2 alg(
-          make_fos(g, s, make_alphas(*g, alpha_scheme::half_max_degree)),
-          tokens, seed);
-      const auto r = run_experiment(alg, alg.continuous(), round_cap);
-      dummies += static_cast<real_t>(r.dummy_created) / 3.0;
-      disc += r.final_max_min / 3.0;
-    }
-    table.add_row({std::to_string(ell),
-                   analysis::ascii_table::fmt(dummies, 1),
-                   analysis::ascii_table::fmt(disc, 2)});
-  }
-  std::cout << "\n=== Figure E.2: Alg2(FOS) on hypercube(5) — dummy usage vs "
-               "floor ℓ ===\n";
-  table.print(std::cout);
-  std::cout << "Theorem 8(2) threshold d/4 + 2c·sqrt(d·log n) ≈ "
-            << analysis::ascii_table::fmt(theory, 1) << " (c=1 shown).\n";
-}
-
-void preload_variant() {
-  // Theorem 3(1)/8(1)'s reporting device: preload ℓ·s_i *dummy* tokens, run,
-  // eliminate. Max-avg stays bounded even with zero real floor.
-  auto g = std::make_shared<const graph>(generators::ring_of_cliques(5, 5));
-  const node_id n = g->num_nodes();
-  const weight_t d = g->max_degree();
-  const speed_vector s = uniform_speeds(n);
-
-  task_assignment tasks =
-      task_assignment::tokens(workload::point_mass(n, 0, 80 * n));
-  add_dummy_preload(tasks, s, d);
-  algorithm1 alg(
-      make_fos(g, s, make_alphas(*g, alpha_scheme::half_max_degree)),
-      std::move(tasks));
-  const auto r = run_experiment(alg, alg.continuous(), round_cap);
-  std::cout << "\n=== Figure E.3: Theorem 3(1) dummy-preload device on "
-               "ring-of-cliques(5,5) ===\n"
-            << "max-avg (real loads vs original W/S): "
-            << analysis::ascii_table::fmt(r.final_max_avg, 2)
-            << "   bound 2d·w_max+2 = " << 2 * d + 2
-            << "   dummies minted mid-run: " << r.dummy_created << "\n";
-}
-
-}  // namespace
-
 int main() {
-  alg1_threshold();
-  alg2_threshold();
-  preload_variant();
-  sos_beta_sweep();
-  return 0;
+  return dlb::bench::run_grid_bench("dummy_threshold", /*master_seed=*/11,
+                                    "dummy-threshold");
 }

@@ -1,79 +1,20 @@
 // Extension experiment (DESIGN.md): balancing under continuous task
 // arrivals. The paper's theorems are static, but additivity (Definition 3)
-// is exactly the property that lets flow imitation absorb arrivals: the
-// imitator mirrors each arrival into its internal continuous process, and
-// the combined run equals the sum of the static runs.
+// is exactly the property that lets flow imitation absorb arrivals.
 //
-// We measure steady-state (second half of the run) time-average and peak
-// max-min discrepancy under (a) uniform arrivals and (b) periodic bursts at
-// one hotspot, for Alg1, Alg2, and the round-down baseline.
+// Two grids: `dynamic-uniform` (steady token stream on uniform nodes) and
+// `dynamic-bursts` (periodic bursts at one hotspot). Shape to check: the
+// flow imitators hold a low steady band (mean/peak max-min over the second
+// half of the run); round-down's band sits higher — its per-round rounding
+// floor accumulates across the diameter. Same experiments:
+// `dlb_run --grid dynamic-uniform,dynamic-bursts --table`.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace dlb;
-using namespace dlb::bench;
-
-std::unique_ptr<discrete_process> build_proc(
-    const std::string& which, std::shared_ptr<const graph> g,
-    const speed_vector& s, const std::vector<weight_t>& tokens,
-    std::uint64_t seed) {
-  if (which == "alg1") {
-    return std::make_unique<algorithm1>(
-        make_continuous(model::diffusion, g, s, seed),
-        task_assignment::tokens(tokens));
-  }
-  if (which == "alg2") {
-    return std::make_unique<algorithm2>(
-        make_continuous(model::diffusion, g, s, seed), tokens, seed);
-  }
-  return std::make_unique<local_rounding_process>(
-      g, s, make_schedule(model::diffusion, *g, s, seed),
-      rounding_policy::round_down, tokens, seed);
-}
-
-void run_schedule(const std::string& label,
-                  const workload::arrival_schedule& sched,
-                  round_t rounds) {
-  auto g = std::make_shared<const graph>(generators::torus_2d(10));
-  const node_id n = g->num_nodes();
-  const speed_vector s = uniform_speeds(n);
-  const auto tokens = workload::add_speed_multiple(
-      workload::uniform_random(n, 20 * n, /*seed=*/3), s,
-      static_cast<weight_t>(g->max_degree()));
-
-  analysis::ascii_table table({"process", "steady mean max-min",
-                               "steady peak max-min", "final max-min",
-                               "arrived"});
-  for (const std::string which : {"alg1", "alg2", "round-down"}) {
-    auto p = build_proc(which, g, s, tokens, /*seed=*/9);
-    const dynamic_result r = run_dynamic(*p, sched, rounds);
-    table.add_row({p->name(), analysis::ascii_table::fmt(r.mean_max_min, 2),
-                   analysis::ascii_table::fmt(r.peak_max_min, 2),
-                   analysis::ascii_table::fmt(r.final_max_min, 2),
-                   std::to_string(r.total_arrived)});
-  }
-  std::cout << "\n=== Dynamic arrivals (" << label << ", torus-2d(10), "
-            << rounds << " rounds) ===\n";
-  table.print(std::cout);
-}
-
-}  // namespace
-
 int main() {
-  {
-    const workload::uniform_arrivals sched(100, /*per_round=*/10,
-                                           /*seed=*/21);
-    run_schedule("uniform, 10 tokens/round", sched, /*rounds=*/600);
-  }
-  {
-    const workload::burst_arrivals sched(/*target=*/0, /*burst=*/500,
-                                         /*period=*/100);
-    run_schedule("bursts of 500 at node 0 every 100 rounds", sched,
-                 /*rounds=*/600);
-  }
-  std::cout << "\nShape: flow imitators hold a low steady band; round-down's "
-               "band sits higher (its per-round rounding floor accumulates "
-               "across the torus diameter).\n";
-  return 0;
+  dlb::runtime::grid_options opts;
+  opts.dynamic_rounds = 600;
+  opts.arrivals_per_round = 10;
+  return dlb::bench::run_grid_bench("dynamic", /*master_seed=*/21,
+                                    {{"dynamic-uniform", opts},
+                                     {"dynamic-bursts", opts}});
 }

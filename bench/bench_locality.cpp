@@ -1,69 +1,13 @@
 // Figure G (intro claim): neighbourhood balancing keeps tasks near their
-// origin. We run Algorithm 1 to T^A from (a) a point-mass spike and (b) a
-// balanced-plus-spike start, and report the displacement distribution of
-// every task against the graph's mean pairwise distance — the expected cost
-// of an arbitrary (route-anywhere) reassignment.
+// origin. The `locality` grid runs Algorithm 1 to T^A from a balanced-plus-
+// spike start and from a point mass (the worst case), and reports the
+// displacement distribution against the graph's mean pairwise distance —
+// the expected cost of an arbitrary route-anywhere reassignment — in the
+// `extra` columns. Shape: with a mostly-balanced start most tasks never
+// move. Same experiment: `dlb_run --grid locality --table`.
 #include "bench_common.hpp"
 
-#include "dlb/analysis/locality.hpp"
-
-namespace {
-
-using namespace dlb;
-using namespace dlb::bench;
-
-void run_case(const std::string& label, std::shared_ptr<const graph> g,
-              const std::vector<weight_t>& loads) {
-  const node_id n = g->num_nodes();
-  const speed_vector s = uniform_speeds(n);
-  algorithm1 alg(make_continuous(model::diffusion, g, s, /*seed=*/1),
-                 task_assignment::tokens(loads));
-  const auto r = run_experiment(alg, alg.continuous(), round_cap);
-
-  const auto stats = analysis::task_locality(*g, alg.tasks());
-  const real_t baseline = analysis::mean_pairwise_distance(*g);
-
-  analysis::ascii_table table({"metric", "value"});
-  table.add_row({"graph", label});
-  table.add_row({"T^A", std::to_string(r.rounds)});
-  table.add_row({"final max-min", analysis::ascii_table::fmt(r.final_max_min, 2)});
-  table.add_row({"tasks tracked", std::to_string(stats.tasks)});
-  table.add_row({"mean displacement",
-                 analysis::ascii_table::fmt(stats.mean_distance, 2)});
-  table.add_row({"max displacement", std::to_string(stats.max_distance)});
-  table.add_row({"fraction unmoved",
-                 analysis::ascii_table::fmt(stats.stationary_fraction, 3)});
-  table.add_row({"mean pairwise distance (arbitrary reassignment baseline)",
-                 analysis::ascii_table::fmt(baseline, 2)});
-  table.print(std::cout);
-  std::cout << "\n";
-}
-
-}  // namespace
-
 int main() {
-  std::cout << "=== Figure G: task locality of Algorithm 1 (FOS) ===\n\n";
-  {
-    auto g = std::make_shared<const graph>(generators::torus_2d(12));
-    run_case("torus-2d(12), balanced + spike of 500 at node 0",
-             g,
-             workload::balanced_plus_spike(g->num_nodes(), 40, 0, 500));
-  }
-  {
-    auto g = std::make_shared<const graph>(generators::torus_2d(12));
-    run_case("torus-2d(12), point mass (worst case for locality)", g,
-             workload::point_mass(g->num_nodes(), 0,
-                                  40 * g->num_nodes()));
-  }
-  {
-    auto g = std::make_shared<const graph>(
-        generators::ring_of_cliques(8, 5));
-    run_case("ring-of-cliques(8,5), balanced + spike of 400", g,
-             workload::balanced_plus_spike(g->num_nodes(), 40, 0, 400));
-  }
-  std::cout << "Shape: with a mostly-balanced start, most tasks never move "
-               "and mean displacement is far below the arbitrary-"
-               "reassignment baseline; only the point-mass worst case "
-               "forces long hauls.\n";
-  return 0;
+  return dlb::bench::run_grid_bench("locality", /*master_seed=*/17,
+                                    "locality");
 }

@@ -1,74 +1,17 @@
 // Figure B: final discrepancy vs maximum degree d.
 //
 // Theorem 3 gives Alg1 <= 2d·w_max+2 (linear in d); Theorem 8 gives Alg2
-// d/4 + O(sqrt(d·log n)). For large d the randomized transformation wins —
-// this bench sweeps hypercube dimension and complete graphs to expose the
-// crossover.
+// d/4 + O(sqrt(d·log n)) — for large d the randomized transformation wins.
+// The `scaling-d` grid sweeps hypercube dimension and complete graphs to
+// expose the crossover; every row carries the theory bounds as `extra`
+// columns (bound_alg1, bound_alg2). Same experiment:
+// `dlb_run --grid scaling-d --n 512` for larger degrees.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace dlb;
-using namespace dlb::bench;
-
-void hypercube_sweep(int repeats) {
-  analysis::ascii_table table({"dim (=d)", "n", "Alg1", "Alg2 (mean)",
-                               "bound 2d+2", "bound d/4+sqrt(d ln n)"});
-  const auto rows = standard_competitors(true);
-  const auto& alg1 = rows[rows.size() - 2];
-  const auto& alg2 = rows[rows.size() - 1];
-
-  for (int dim = 3; dim <= 9; ++dim) {
-    auto g = std::make_shared<const graph>(generators::hypercube(dim));
-    const speed_vector s = uniform_speeds(g->num_nodes());
-    const auto tokens = spike_workload(*g, s, 50);
-    const auto r1 = run_competitor(alg1, g, s, tokens, model::diffusion, 1);
-    const auto r2 =
-        run_competitor(alg2, g, s, tokens, model::diffusion, repeats);
-    const real_t d = dim;
-    const real_t n = static_cast<real_t>(g->num_nodes());
-    table.add_row({std::to_string(dim), std::to_string(g->num_nodes()),
-                   analysis::ascii_table::fmt(r1.mean, 2),
-                   analysis::ascii_table::fmt(r2.mean, 2),
-                   analysis::ascii_table::fmt(2 * d + 2, 0),
-                   analysis::ascii_table::fmt(
-                       d / 4 + std::sqrt(d * std::log(n)), 1)});
-  }
-  std::cout << "\n=== Figure B.1: hypercube dimension sweep (d = dim) ===\n";
-  table.print(std::cout);
-}
-
-void complete_graph_sweep(int repeats) {
-  analysis::ascii_table table({"n (d=n-1)", "Alg1", "Alg2 (mean)",
-                               "round-down", "bound 2d+2"});
-  const auto rows = standard_competitors(true);
-  const auto& down = rows[0];
-  const auto& alg1 = rows[rows.size() - 2];
-  const auto& alg2 = rows[rows.size() - 1];
-
-  for (const node_id n : {8, 16, 32, 64, 128}) {
-    auto g = std::make_shared<const graph>(generators::complete(n));
-    const speed_vector s = uniform_speeds(n);
-    const auto tokens = spike_workload(*g, s, 50);
-    const auto r1 = run_competitor(alg1, g, s, tokens, model::diffusion, 1);
-    const auto r2 =
-        run_competitor(alg2, g, s, tokens, model::diffusion, repeats);
-    const auto rd = run_competitor(down, g, s, tokens, model::diffusion, 1);
-    table.add_row({std::to_string(n),
-                   analysis::ascii_table::fmt(r1.mean, 2),
-                   analysis::ascii_table::fmt(r2.mean, 2),
-                   analysis::ascii_table::fmt(rd.mean, 2),
-                   analysis::ascii_table::fmt(2.0 * (n - 1) + 2, 0)});
-  }
-  std::cout << "\n=== Figure B.2: complete graphs — large d exposes the "
-               "Alg1 (Θ(d)) vs Alg2 (O(sqrt(d log n))) crossover ===\n";
-  table.print(std::cout);
-}
-
-}  // namespace
-
 int main() {
-  hypercube_sweep(/*repeats=*/3);
-  complete_graph_sweep(/*repeats=*/3);
-  return 0;
+  dlb::runtime::grid_options opts;
+  opts.target_n = 512;  // hypercube up to dim 9, complete up to n=256
+  opts.repeats = 3;
+  return dlb::bench::run_grid_bench("scaling_d", /*master_seed=*/5,
+                                    "scaling-d", opts);
 }

@@ -1,71 +1,18 @@
 // Table 1 reproduction: final max-min discrepancy of discrete *diffusion*
 // processes across the paper's graph classes (arbitrary low-expansion,
-// constant-degree expander, hypercube, 2-dim torus).
+// constant-degree expander, hypercube, 2-dim torus), at two sizes.
 //
-// The paper's Table 1 states asymptotic bounds; this bench produces the
-// empirical analogue at the continuous balancing time T^A. The shape to
-// check: Algorithm 1 is O(d) — flat in n and independent of expansion — and
-// Algorithm 2 is O(sqrt(d·log n)); round-down degrades on the low-expansion
-// column.
-//
-// Runs on the dlb::runtime experiment grid (one cell per graph × process ×
-// seed, spread over all cores) and appends every cell, wall-clock included,
-// to BENCH_table1.json.
-#include <cmath>
-#include <fstream>
-#include <iterator>
-
+// Shape to check: Algorithm 1 is O(d) — flat in n and independent of
+// expansion — Algorithm 2 is O(sqrt(d·log n)), and round-down degrades on
+// the low-expansion column. Wrapper over the `table1` named grid; the same
+// experiment is `dlb_run --grid table1` (see docs/REPRODUCING.md).
 #include "bench_common.hpp"
-#include "dlb/runtime/grids.hpp"
-
-namespace {
-
-using namespace dlb;
-
-constexpr std::uint64_t master_seed = 7;
-
-std::vector<runtime::result_row> run_table(runtime::thread_pool& pool,
-                                           node_id target_n, int repeats) {
-  runtime::grid_options opts;
-  opts.target_n = target_n;
-  opts.repeats = repeats;
-  runtime::grid_spec spec =
-      runtime::make_named_grid("table1", opts, master_seed);
-  // Batches at different sizes land in one JSON file; suffix the grid name
-  // so (grid, cell) stays a unique key across the whole file.
-  spec.name += "-n" + std::to_string(target_n);
-  auto rows = runtime::run_grid(spec, master_seed, pool);
-
-  std::cout << "\n=== Table 1: diffusion model, final max-min discrepancy at "
-               "T^A (n≈"
-            << target_n << ", " << repeats << " seeds for randomized) ===\n";
-  analysis::pivot("process", runtime::discrepancy_cells(rows))
-      .print(std::cout);
-
-  // Context rows: theoretical ceilings for the flow imitators.
-  std::vector<analysis::pivot_cell> bound_cells;
-  for (const auto& gc : spec.graphs) {
-    const real_t d = static_cast<real_t>(gc.g->max_degree());
-    const real_t n = static_cast<real_t>(gc.g->num_nodes());
-    bound_cells.push_back({"2d+2 (Thm 3, w_max=1)", gc.name, 2 * d + 2});
-    bound_cells.push_back({"d/4+O(sqrt(d log n)) (Thm 8)", gc.name,
-                           d / 4 + std::sqrt(d * std::log(n))});
-  }
-  analysis::pivot("bound", bound_cells, /*precision=*/1).print(std::cout);
-  return rows;
-}
-
-}  // namespace
 
 int main() {
-  runtime::thread_pool pool(runtime::thread_pool::default_threads());
-  auto rows = run_table(pool, /*target_n=*/128, /*repeats=*/5);
-  auto more = run_table(pool, /*target_n=*/256, /*repeats=*/3);
-  rows.insert(rows.end(), std::make_move_iterator(more.begin()),
-              std::make_move_iterator(more.end()));
-
-  std::ofstream out("BENCH_table1.json");
-  runtime::write_json(out, rows, runtime::timing::include);
-  std::cout << "\nwrote " << rows.size() << " cells to BENCH_table1.json\n";
-  return 0;
+  dlb::runtime::grid_options large;
+  large.target_n = 256;
+  large.repeats = 3;
+  dlb::runtime::grid_options base;
+  return dlb::bench::run_grid_bench("table1", /*master_seed=*/7,
+                                    {{"table1", base}, {"table1", large}});
 }

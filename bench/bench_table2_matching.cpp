@@ -1,64 +1,21 @@
 // Table 2 reproduction: final max-min discrepancy in the *matching model*
 // (periodic matchings from a Misra-Gries edge colouring, and fresh random
-// maximal matchings each round).
+// maximal matchings each round), at two sizes.
 //
 // Shape to check: Algorithm 1 is the only process whose final discrepancy is
 // independent of n on every family; randomized rounding [24] and Algorithm 2
-// track O(sqrt(d·log n)); round-down [37] depends on expansion.
-//
-// Runs both matching grids on the dlb::runtime experiment grid and appends
-// every cell, wall-clock included, to BENCH_table2.json.
-#include <fstream>
-#include <iterator>
-
+// track O(sqrt(d·log n)); round-down [37] depends on expansion. Wrapper over
+// the `table2-periodic` / `table2-random` named grids (docs/REPRODUCING.md).
 #include "bench_common.hpp"
-#include "dlb/runtime/grids.hpp"
-
-namespace {
-
-using namespace dlb;
-
-constexpr std::uint64_t master_seed = 11;
-
-std::vector<runtime::result_row> run_table(runtime::thread_pool& pool,
-                                           const std::string& grid_name,
-                                           node_id target_n, int repeats) {
-  runtime::grid_options opts;
-  opts.target_n = target_n;
-  opts.repeats = repeats;
-  runtime::grid_spec spec =
-      runtime::make_named_grid(grid_name, opts, master_seed);
-  // All four batches land in one JSON file; suffix the grid name so
-  // (grid, cell) stays a unique key across the whole file.
-  spec.name += "-n" + std::to_string(target_n);
-  auto rows = runtime::run_grid(spec, master_seed, pool);
-
-  std::cout << "\n=== Table 2 ("
-            << workload::model_name(spec.comm_model)
-            << " matchings): final max-min discrepancy at T^A (n≈"
-            << target_n << ", " << repeats << " seeds for randomized) ===\n";
-  analysis::pivot("process", runtime::discrepancy_cells(rows))
-      .print(std::cout);
-  return rows;
-}
-
-}  // namespace
 
 int main() {
-  runtime::thread_pool pool(runtime::thread_pool::default_threads());
-  std::vector<runtime::result_row> rows;
-  for (const auto& [grid, n, repeats] :
-       {std::tuple<const char*, node_id, int>{"table2-periodic", 128, 5},
-        {"table2-random", 128, 5},
-        {"table2-periodic", 256, 3},
-        {"table2-random", 256, 3}}) {
-    auto batch = run_table(pool, grid, n, repeats);
-    rows.insert(rows.end(), std::make_move_iterator(batch.begin()),
-                std::make_move_iterator(batch.end()));
-  }
-
-  std::ofstream out("BENCH_table2.json");
-  runtime::write_json(out, rows, runtime::timing::include);
-  std::cout << "\nwrote " << rows.size() << " cells to BENCH_table2.json\n";
-  return 0;
+  dlb::runtime::grid_options large;
+  large.target_n = 256;
+  large.repeats = 3;
+  dlb::runtime::grid_options base;
+  return dlb::bench::run_grid_bench("table2", /*master_seed=*/11,
+                                    {{"table2-periodic", base},
+                                     {"table2-random", base},
+                                     {"table2-periodic", large},
+                                     {"table2-random", large}});
 }

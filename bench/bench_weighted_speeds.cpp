@@ -1,109 +1,14 @@
 // Figure D: the heterogeneous setting — weighted tasks and node speeds.
 //
 // Theorem 3's bound 2·d·w_max + 2 is *independent of n, expansion, and
-// s_max*. This bench sweeps w_max (weighted tasks) and s_max (speeds) and
-// reports measured final discrepancy against the bound. Prior work ([2, 21])
-// had bounds depending on expansion or diameter; flow imitation does not.
+// s_max*. The `weighted-speeds` grid sweeps w_max (weighted tasks on a
+// ring of cliques), s_max (random speeds on a torus), and both at once
+// across all three communication models; the measured discrepancy and the
+// bound land in the `extra` columns. Same experiment:
+// `dlb_run --grid weighted-speeds --table`.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace dlb;
-using namespace dlb::bench;
-
-void wmax_sweep() {
-  auto g = std::make_shared<const graph>(generators::ring_of_cliques(6, 5));
-  const node_id n = g->num_nodes();
-  const weight_t d = g->max_degree();
-  const speed_vector s = uniform_speeds(n);
-
-  analysis::ascii_table table({"w_max", "max-min at T^A", "bound 2dw+2",
-                               "dummies", "rounds T^A"});
-  for (const weight_t wmax : {1, 2, 4, 8, 16}) {
-    const auto loads = workload::add_speed_multiple(
-        workload::zipf(n, 200 * wmax * n, 1.0, /*seed=*/5), s, d * wmax);
-    auto tasks =
-        workload::decompose_uniform_weights(loads, wmax, /*seed=*/6);
-    algorithm1 alg(
-        make_fos(g, s, make_alphas(*g, alpha_scheme::half_max_degree)),
-        std::move(tasks),
-        {.removal = removal_policy::real_first, .wmax_override = wmax});
-    const auto r = run_experiment(alg, alg.continuous(), round_cap);
-    table.add_row({std::to_string(wmax),
-                   analysis::ascii_table::fmt(r.final_max_min, 2),
-                   std::to_string(2 * d * wmax + 2),
-                   std::to_string(r.dummy_created),
-                   std::to_string(r.rounds)});
-  }
-  std::cout << "\n=== Figure D.1: w_max sweep, Alg1(FOS) on "
-               "ring-of-cliques(6,5), d="
-            << d << " ===\n";
-  table.print(std::cout);
-}
-
-void smax_sweep() {
-  auto g = std::make_shared<const graph>(generators::torus_2d(8));
-  const node_id n = g->num_nodes();
-  const weight_t d = g->max_degree();
-
-  analysis::ascii_table table({"s_max", "S (total speed)", "max-min at T^A",
-                               "bound 2d+2", "dummies", "rounds T^A"});
-  for (const weight_t smax : {1, 2, 4, 8}) {
-    const speed_vector s = workload::random_speeds(n, smax, /*seed=*/9);
-    weight_t total_speed = 0;
-    for (const weight_t si : s) total_speed += si;
-    const auto tokens = workload::add_speed_multiple(
-        workload::point_mass(n, 0, 100 * n), s, d);
-    algorithm1 alg(
-        make_fos(g, s, make_alphas(*g, alpha_scheme::half_max_degree)),
-        task_assignment::tokens(tokens));
-    const auto r = run_experiment(alg, alg.continuous(), round_cap);
-    table.add_row({std::to_string(smax), std::to_string(total_speed),
-                   analysis::ascii_table::fmt(r.final_max_min, 2),
-                   std::to_string(2 * d + 2),
-                   std::to_string(r.dummy_created),
-                   std::to_string(r.rounds)});
-  }
-  std::cout << "\n=== Figure D.2: s_max sweep (tokens), Alg1(FOS) on "
-               "torus-2d(8) — bound independent of s_max ===\n";
-  table.print(std::cout);
-}
-
-void combined_heterogeneous() {
-  // Full generality: weighted tasks AND speeds AND matching model.
-  auto g = std::make_shared<const graph>(generators::ring_of_cliques(4, 6));
-  const node_id n = g->num_nodes();
-  const weight_t d = g->max_degree();
-  const weight_t wmax = 5;
-
-  analysis::ascii_table table(
-      {"model", "max-min at T^A", "bound 2dw+2", "dummies"});
-  for (const model m : {model::diffusion, model::periodic_matching,
-                        model::random_matching}) {
-    const speed_vector s = workload::random_speeds(n, 3, /*seed=*/13);
-    const auto loads = workload::add_speed_multiple(
-        workload::uniform_random(n, 150 * n, /*seed=*/14), s, d * wmax);
-    auto tasks =
-        workload::decompose_uniform_weights(loads, wmax, /*seed=*/15);
-    algorithm1 alg(make_continuous(m, g, s, /*seed=*/16), std::move(tasks),
-                   {.removal = removal_policy::real_first,
-                    .wmax_override = wmax});
-    const auto r = run_experiment(alg, alg.continuous(), round_cap);
-    table.add_row({model_name(m),
-                   analysis::ascii_table::fmt(r.final_max_min, 2),
-                   std::to_string(2 * d * wmax + 2),
-                   std::to_string(r.dummy_created)});
-  }
-  std::cout << "\n=== Figure D.3: weighted tasks (w_max=5) + speeds "
-               "(s_max=3) across models, Alg1 ===\n";
-  table.print(std::cout);
-}
-
-}  // namespace
-
 int main() {
-  wmax_sweep();
-  smax_sweep();
-  combined_heterogeneous();
-  return 0;
+  return dlb::bench::run_grid_bench("weighted_speeds", /*master_seed=*/7,
+                                    "weighted-speeds");
 }

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Per-cell wall-clock regression check against a committed baseline.
+
+Compares the `wall_ns` of every (grid, cell) in a fresh BENCH/dlb_run JSON
+file against bench/baselines/perf_baseline.json and flags cells that got
+more than THRESHOLD times slower. Regenerate the baseline (same flags, a
+quiet machine) with the command documented in docs/REPRODUCING.md.
+
+    bench/check_regression.py <baseline.json> <fresh.json> \
+        [--threshold 2.0] [--min-ns 1000000]
+
+Cells faster than --min-ns in both files are ignored: sub-millisecond cells
+are scheduler noise, not signal. Exit 1 when any cell regresses — CI runs
+this as a non-blocking step (continue-on-error), so a red mark is a prompt
+to look, not a merge gate; absolute times differ across machines, which is
+why only the ratio against the same-machine baseline is meaningful.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    return {(row["grid"], row["cell"]): row for row in rows}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=2.0)
+    parser.add_argument("--min-ns", type=int, default=1_000_000)
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    fresh = load_rows(args.fresh)
+    shared = sorted(baseline.keys() & fresh.keys())
+    if not shared:
+        sys.exit("no shared (grid, cell) keys between baseline and fresh run")
+    only_baseline = len(baseline) - len(shared)
+    only_fresh = len(fresh) - len(shared)
+    if only_baseline or only_fresh:
+        print(
+            f"note: comparing {len(shared)} shared cells "
+            f"({only_baseline} baseline-only, {only_fresh} fresh-only skipped)"
+        )
+
+    flagged = []
+    for key in shared:
+        base_ns = baseline[key]["wall_ns"]
+        fresh_ns = fresh[key]["wall_ns"]
+        if max(base_ns, fresh_ns) < args.min_ns:
+            continue
+        if base_ns > 0 and fresh_ns > args.threshold * base_ns:
+            flagged.append((key, base_ns, fresh_ns))
+
+    if flagged:
+        print(
+            f"{len(flagged)} cell(s) regressed beyond "
+            f"{args.threshold:.1f}x:"
+        )
+        for (grid, cell), base_ns, fresh_ns in flagged:
+            row = fresh[(grid, cell)]
+            print(
+                f"  {grid}/cell{cell} [{row['process']} @ {row['scenario']}]"
+                f": {base_ns / 1e6:.2f}ms -> {fresh_ns / 1e6:.2f}ms "
+                f"({fresh_ns / base_ns:.1f}x)"
+            )
+        sys.exit(1)
+    print(f"OK: no cell regressed beyond {args.threshold:.1f}x "
+          f"({len(shared)} cells compared)")
+
+
+if __name__ == "__main__":
+    main()

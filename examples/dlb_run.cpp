@@ -1,4 +1,5 @@
 // dlb_run — list and execute the named experiment grids of dlb::runtime.
+// docs/REPRODUCING.md maps every paper table/figure to its invocation.
 //
 // Usage:
 //   dlb_run --list
@@ -10,9 +11,13 @@
 //   --master-seed master seed pinning topology + every cell RNG (default 1)
 //   --n           approximate node count per graph case (default 128)
 //   --repeats     repetitions for randomized competitors (default 5)
+//   --spike-per-node   initial spike weight per node (default 50)
 //   --dynamic-rounds / --arrivals-per-round   dynamic grids only
+//   --burst-size / --burst-period             dynamic-bursts only
 //   --out         also write JSON (with real wall_ns timing) to this file
-//   --table       render an ascii pivot table (process × graph) to stderr
+//   --table       render each grid's ascii pivot to stderr; the shape is
+//                 per-grid (discrepancy, steady-state mean, balancing time,
+//                 or the study grids' extra-metric columns)
 //
 // stdout carries the results as a JSON array with wall_ns masked to 0, so
 // the bytes are identical for any --threads value: grid cells derive their
@@ -66,6 +71,8 @@ int main(int argc, char** argv) {
         args.get_int("dynamic-rounds", opts.dynamic_rounds);
     opts.arrivals_per_round =
         args.get_int("arrivals-per-round", opts.arrivals_per_round);
+    opts.burst_size = args.get_int("burst-size", opts.burst_size);
+    opts.burst_period = args.get_int("burst-period", opts.burst_period);
     const auto master_seed =
         static_cast<std::uint64_t>(args.get_int("master-seed", 1));
     const auto threads = static_cast<unsigned>(args.get_int(
@@ -94,8 +101,7 @@ int main(int argc, char** argv) {
       auto rows = runtime::run_grid(spec, master_seed, pool);
       if (want_table) {
         std::cerr << "\n" << spec.description << "\n";
-        analysis::pivot("process", runtime::discrepancy_cells(rows))
-            .print(std::cerr);
+        runtime::render_view(spec, rows).print(std::cerr);
       }
       all_rows.insert(all_rows.end(),
                       std::make_move_iterator(rows.begin()),

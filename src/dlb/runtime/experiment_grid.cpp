@@ -1,5 +1,9 @@
 #include "dlb/runtime/experiment_grid.hpp"
 
+#include <algorithm>
+#include <iterator>
+#include <memory>
+
 #include "dlb/common/contracts.hpp"
 #include "dlb/common/rng.hpp"
 #include "dlb/core/engine.hpp"
@@ -20,14 +24,23 @@ std::vector<grid_cell> expand_grid(const grid_spec& spec,
 
   std::vector<grid_cell> cells;
   std::uint64_t index = 0;
+  const auto push = [&](std::size_t g, std::size_t p) {
+    const int reps = spec.processes[p].randomized ? spec.repeats : 1;
+    for (int r = 0; r < reps; ++r) {
+      cells.push_back({index, g, p, r, derive_seed(master_seed, index)});
+      ++index;
+    }
+  };
+  if (!spec.pairs.empty()) {
+    for (const auto& [g, p] : spec.pairs) {
+      DLB_EXPECTS(g < spec.graphs.size() && p < spec.processes.size());
+      push(g, p);
+    }
+    return cells;
+  }
   for (std::size_t g = 0; g < spec.graphs.size(); ++g) {
     for (std::size_t p = 0; p < spec.processes.size(); ++p) {
-      const int reps = spec.processes[p].randomized ? spec.repeats : 1;
-      for (int r = 0; r < reps; ++r) {
-        cells.push_back(
-            {index, g, p, r, derive_seed(master_seed, index)});
-        ++index;
-      }
+      push(g, p);
     }
   }
   return cells;
@@ -37,8 +50,6 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
   const workload::graph_case& gc = spec.graphs[cell.graph_index];
   const workload::competitor& comp = spec.processes[cell.process_index];
   const node_id n = gc.g->num_nodes();
-  const speed_vector s = uniform_speeds(n);
-  const auto tokens = workload::spike_workload(*gc.g, s, spec.spike_per_node);
 
   result_row row;
   row.cell = cell.index;
@@ -49,7 +60,17 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
   row.n = n;
   row.seed = cell.seed;
 
-  auto d = comp.build(gc.g, s, tokens, spec.comm_model, cell.seed);
+  if (spec.custom_cell) {
+    // Custom cells own their whole body, so wall_ns covers construction too.
+    const wall_timer timer;
+    spec.custom_cell(spec, cell, row);
+    row.wall_ns = timer.elapsed_ns();
+    if (spec.annotate) spec.annotate(spec, cell, row);
+    return row;
+  }
+
+  const speed_vector s = uniform_speeds(n);
+  const auto tokens = workload::spike_workload(*gc.g, s, spec.spike_per_node);
   // Only the engine call is timed; process/reference construction (graph
   // coloring etc.) is identical per competitor and would swamp fast cells.
   const auto timed = [&row](const auto& engine_call) {
@@ -58,6 +79,7 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
     row.wall_ns = timer.elapsed_ns();
     return result;
   };
+  auto d = comp.build(gc.g, s, tokens, spec.comm_model, cell.seed);
   if (spec.kind == grid_kind::static_balancing) {
     auto reference =
         workload::make_continuous(spec.comm_model, gc.g, s, cell.seed);
@@ -72,10 +94,15 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
   } else {
     // Arrivals get their own stream off the cell seed so the process's
     // internal randomness and the arrival pattern stay decorrelated.
-    const workload::uniform_arrivals sched(
-        n, spec.arrivals_per_round, derive_seed(cell.seed, 1));
+    const std::unique_ptr<workload::arrival_schedule> sched =
+        spec.arrivals == arrival_pattern::uniform
+            ? std::unique_ptr<workload::arrival_schedule>(
+                  std::make_unique<workload::uniform_arrivals>(
+                      n, spec.arrivals_per_round, derive_seed(cell.seed, 1)))
+            : std::make_unique<workload::burst_arrivals>(
+                  spec.burst_target, spec.burst_size, spec.burst_period);
     const dynamic_result r =
-        timed([&] { return run_dynamic(*d, sched, spec.dynamic_rounds); });
+        timed([&] { return run_dynamic(*d, *sched, spec.dynamic_rounds); });
     row.rounds = r.rounds;
     row.converged = false;  // no T^A gate exists for dynamic runs
     row.final_max_min = r.final_max_min;
@@ -83,7 +110,31 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
     row.peak_max_min = r.peak_max_min;
     row.dummy_created = d->dummy_created();
   }
+  if (spec.annotate) spec.annotate(spec, cell, row);
   return row;
+}
+
+analysis::ascii_table render_view(const grid_spec& spec,
+                                  const std::vector<result_row>& rows) {
+  switch (spec.view) {
+    case table_view::mean_discrepancy:
+      return analysis::pivot("process", metric_cells(rows, "mean_max_min"));
+    case table_view::rounds: {
+      // A balancing time only exists for converged cells; rendering the
+      // round cap as a measured T would corrupt the T-vs-predictor shape,
+      // so unconverged cells show as empty ("-") instead.
+      std::vector<result_row> converged;
+      std::copy_if(rows.begin(), rows.end(), std::back_inserter(converged),
+                   [](const result_row& r) { return r.converged; });
+      return analysis::pivot("process", metric_cells(converged, "rounds"),
+                             /*precision=*/0);
+    }
+    case table_view::extras:
+      return analysis::pivot("case", extras_cells(rows));
+    case table_view::discrepancy:
+      break;
+  }
+  return analysis::pivot("process", discrepancy_cells(rows));
 }
 
 std::vector<result_row> run_grid(const grid_spec& spec,

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dlb/common/types.hpp"
@@ -24,8 +26,25 @@ namespace dlb::runtime {
 /// How a cell is driven through the engine.
 enum class grid_kind {
   static_balancing,  ///< run_experiment to the continuous balancing time
-  dynamic_arrivals,  ///< run_dynamic with uniform random arrivals
+  dynamic_arrivals,  ///< run_dynamic with a seeded arrival schedule
 };
+
+/// Arrival schedule shape for dynamic_arrivals grids.
+enum class arrival_pattern {
+  uniform,  ///< arrivals_per_round tokens on uniform random nodes
+  bursts,   ///< burst_size tokens on burst_target every burst_period rounds
+};
+
+/// How `dlb_run --table` (and the bench wrappers) should pivot a grid's
+/// rows into an ascii table.
+enum class table_view {
+  discrepancy,       ///< process × scenario → final max-min discrepancy
+  mean_discrepancy,  ///< process × scenario → steady mean max-min (dynamic)
+  rounds,            ///< process × scenario → rounds (balancing-time grids)
+  extras,  ///< (process @ scenario) × extra key → value (study grids)
+};
+
+struct grid_cell;
 
 /// A declarative grid: every (graph, process, repetition) triple becomes one
 /// cell. Deterministic competitors run one repetition regardless of
@@ -40,14 +59,41 @@ struct grid_spec {
   int repeats = 1;
   weight_t spike_per_node = 50;  ///< initial point-mass spike per node
   round_t round_cap = 2'000'000;
+  table_view view = table_view::discrepancy;
+
+  /// Explicit (graph_index, process_index) cell list. Empty means the full
+  /// graphs × processes cross product; study grids whose process variants
+  /// only make sense on specific graphs (e.g. the dummy-threshold sweeps)
+  /// enumerate exactly the pairs they need instead.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+
+  /// Custom per-cell executor. When set it replaces the standard engine
+  /// drivers entirely: run_cell pre-fills the row's identity fields (cell,
+  /// grid, scenario, process, model, n, seed), times the call for wall_ns,
+  /// and the hook fills every metric field (including `extra`). The
+  /// competitor's `build` member is unused by such grids. Must be
+  /// deterministic given (spec, cell) — no global RNG, no clocks.
+  std::function<void(const grid_spec&, const grid_cell&, result_row&)>
+      custom_cell;
+
+  /// Post-driver annotation hook (standard and custom cells alike): append
+  /// derived columns — theory bounds, sweep parameters — to `row.extra`.
+  /// Same determinism contract as custom_cell.
+  std::function<void(const grid_spec&, const grid_cell&, result_row&)>
+      annotate;
 
   // dynamic_arrivals only:
+  arrival_pattern arrivals = arrival_pattern::uniform;
   round_t dynamic_rounds = 0;        ///< total rounds to simulate
   weight_t arrivals_per_round = 0;   ///< uniform arrival rate
+  node_id burst_target = 0;          ///< bursts: hotspot node
+  weight_t burst_size = 0;           ///< bursts: tokens per burst
+  round_t burst_period = 0;          ///< bursts: rounds between bursts
 };
 
 /// One expanded cell. `index` is the position in deterministic enumeration
-/// order (graphs outer, processes middle, repetitions inner).
+/// order (graphs outer, processes middle, repetitions inner — or `pairs`
+/// order when the spec enumerates explicit pairs).
 struct grid_cell {
   std::uint64_t index = 0;
   std::size_t graph_index = 0;
@@ -71,5 +117,10 @@ struct grid_cell {
 [[nodiscard]] std::vector<result_row> run_grid(const grid_spec& spec,
                                                std::uint64_t master_seed,
                                                thread_pool& pool);
+
+/// Pivots rows into the grid's declared table shape (spec.view) — the table
+/// `dlb_run --table` and the bench wrappers print.
+[[nodiscard]] analysis::ascii_table render_view(
+    const grid_spec& spec, const std::vector<result_row>& rows);
 
 }  // namespace dlb::runtime

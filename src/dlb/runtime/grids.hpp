@@ -2,7 +2,8 @@
 // ships, addressable by name from `dlb_run` and the benches. Each named grid
 // is a parameterized grid_spec builder; graph instances are derived from the
 // master seed so one `--master-seed` pins the entire experiment, topology
-// included.
+// included. docs/REPRODUCING.md maps every paper artifact to its grid; keep
+// the two lists in sync (CI diffs them).
 #pragma once
 
 #include <cstdint>
@@ -13,13 +14,31 @@
 
 namespace dlb::runtime {
 
-/// Size/effort knobs shared by all named grids.
+/// Size/effort knobs shared by all named grids (`dlb_run` flag in parens).
+/// Study-specific sweep values — w_max levels, dummy floors, SOS betas,
+/// trace checkpoints — are fixed inside each grid builder so that a grid
+/// name plus a master seed fully determines the experiment.
 struct grid_options {
-  node_id target_n = 128;      ///< approximate node count per graph case
-  int repeats = 5;             ///< repetitions for randomized competitors
+  /// Approximate node count per graph case (`--n`). Grids that sweep size
+  /// or degree scale their sweep range from this: scaling-n runs sizes
+  /// target_n/4 .. target_n, scaling-d caps hypercube dimension and
+  /// complete-graph size near it, and the study grids scale their fixed
+  /// topologies proportionally.
+  node_id target_n = 128;
+  /// Repetitions for randomized competitors (`--repeats`); deterministic
+  /// rows always run once.
+  int repeats = 5;
+  /// Initial spike weight per node in the standard spike workload
+  /// (`--spike-per-node`).
   weight_t spike_per_node = 50;
-  round_t dynamic_rounds = 400;      ///< dynamic grids only
-  weight_t arrivals_per_round = 8;   ///< dynamic grids only
+  /// Dynamic grids: total rounds to simulate (`--dynamic-rounds`).
+  round_t dynamic_rounds = 400;
+  /// dynamic-uniform: tokens arriving per round (`--arrivals-per-round`).
+  weight_t arrivals_per_round = 8;
+  /// dynamic-bursts: tokens per burst on the hotspot (`--burst-size`).
+  weight_t burst_size = 500;
+  /// dynamic-bursts: rounds between bursts (`--burst-period`).
+  round_t burst_period = 100;
 };
 
 /// Name + one-line description of a registered grid.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <system_error>
@@ -157,6 +159,19 @@ Int to_int(std::string_view tok) {
   return v;
 }
 
+std::vector<extra_metric> parse_extras(cursor& c) {
+  std::vector<extra_metric> extras;
+  c.expect('{');
+  if (c.consume('}')) return extras;
+  for (;;) {
+    const std::string key = parse_string(c);
+    c.expect(':');
+    extras.push_back({key, to_real(parse_scalar_token(c))});
+    if (c.consume('}')) return extras;
+    c.expect(',');
+  }
+}
+
 result_row parse_object(cursor& c) {
   result_row row;
   c.expect('{');
@@ -165,7 +180,9 @@ result_row parse_object(cursor& c) {
     const std::string key = parse_string(c);
     c.expect(':');
     c.skip_ws();
-    if (!c.done() && c.peek() == '"') {
+    if (key == "extra") {
+      row.extra = parse_extras(c);
+    } else if (!c.done() && c.peek() == '"') {
       const std::string value = parse_string(c);
       if (key == "grid") row.grid = value;
       else if (key == "scenario") row.scenario = value;
@@ -191,6 +208,13 @@ result_row parse_object(cursor& c) {
 }
 
 }  // namespace
+
+real_t result_row::extra_value(std::string_view key, real_t fallback) const {
+  for (const extra_metric& m : extra) {
+    if (m.key == key) return m.value;
+  }
+  return fallback;
+}
 
 std::string to_json(const result_row& row, timing t) {
   std::string out;
@@ -223,6 +247,16 @@ std::string to_json(const result_row& row, timing t) {
   append_real(out, row.peak_max_min);
   out += ",\"dummy_created\":";
   append_int(out, row.dummy_created);
+  if (!row.extra.empty()) {
+    out += ",\"extra\":{";
+    for (std::size_t i = 0; i < row.extra.size(); ++i) {
+      if (i > 0) out += ',';
+      append_escaped(out, row.extra[i].key);
+      out += ':';
+      append_real(out, row.extra[i].value);
+    }
+    out += '}';
+  }
   out += ",\"wall_ns\":";
   append_int(out, t == timing::include ? row.wall_ns : 0);
   out += '}';
@@ -262,10 +296,38 @@ std::vector<result_row> parse_json(std::string_view json) {
 
 std::vector<analysis::pivot_cell> discrepancy_cells(
     const std::vector<result_row>& rows) {
+  return metric_cells(rows, "final_max_min");
+}
+
+std::vector<analysis::pivot_cell> metric_cells(
+    const std::vector<result_row>& rows, std::string_view metric) {
+  const auto fixed = [&](const result_row& r) -> real_t {
+    if (metric == "rounds") return static_cast<real_t>(r.rounds);
+    if (metric == "final_max_min") return r.final_max_min;
+    if (metric == "final_max_avg") return r.final_max_avg;
+    if (metric == "mean_max_min") return r.mean_max_min;
+    if (metric == "peak_max_min") return r.peak_max_min;
+    if (metric == "dummy_created") return static_cast<real_t>(r.dummy_created);
+    if (metric == "wall_ns") return static_cast<real_t>(r.wall_ns);
+    return r.extra_value(metric, std::numeric_limits<real_t>::quiet_NaN());
+  };
   std::vector<analysis::pivot_cell> cells;
   cells.reserve(rows.size());
   for (const result_row& row : rows) {
-    cells.push_back({row.process, row.scenario, row.final_max_min});
+    const real_t v = fixed(row);
+    if (!std::isnan(v)) cells.push_back({row.process, row.scenario, v});
+  }
+  return cells;
+}
+
+std::vector<analysis::pivot_cell> extras_cells(
+    const std::vector<result_row>& rows) {
+  std::vector<analysis::pivot_cell> cells;
+  for (const result_row& row : rows) {
+    const std::string label = row.process + " @ " + row.scenario;
+    for (const extra_metric& m : row.extra) {
+      cells.push_back({label, m.key, m.value});
+    }
   }
   return cells;
 }

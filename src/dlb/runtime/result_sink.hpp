@@ -20,6 +20,17 @@
 
 namespace dlb::runtime {
 
+/// One named metric beyond the fixed row schema (study-grid knobs and
+/// outputs: sweep parameters, theory bounds, trace checkpoints, ...).
+/// Order is part of the row identity — grids emit extras in a fixed order so
+/// serialized rows stay byte-stable.
+struct extra_metric {
+  std::string key;
+  real_t value = 0;
+
+  friend bool operator==(const extra_metric&, const extra_metric&) = default;
+};
+
 /// One executed grid cell. `cell` is the deterministic enumeration index the
 /// grid assigned; it doubles as the RNG stream id (seed = derive_seed(master,
 /// cell)) and as the canonical sort key.
@@ -39,7 +50,12 @@ struct result_row {
   real_t mean_max_min = 0;  ///< dynamic runs only (0 otherwise)
   real_t peak_max_min = 0;  ///< dynamic runs only (0 otherwise)
   weight_t dummy_created = 0;
+  std::vector<extra_metric> extra;  ///< per-grid metric columns (may be empty)
   std::int64_t wall_ns = 0;  ///< per-cell steady_clock wall time
+
+  /// Value of `extra[key]`; `fallback` when absent.
+  [[nodiscard]] real_t extra_value(std::string_view key,
+                                   real_t fallback = 0) const;
 
   friend bool operator==(const result_row&, const result_row&) = default;
 };
@@ -66,6 +82,19 @@ void write_json(std::ostream& os, const std::vector<result_row>& rows,
 /// Projects rows into the standard table shape (process × scenario →
 /// final max-min discrepancy), ready for analysis::pivot.
 [[nodiscard]] std::vector<analysis::pivot_cell> discrepancy_cells(
+    const std::vector<result_row>& rows);
+
+/// Generalized projection: process × scenario → the named metric, which is
+/// either a fixed numeric field ("rounds", "final_max_min", "final_max_avg",
+/// "mean_max_min", "peak_max_min", "dummy_created", "wall_ns") or an `extra`
+/// key. Rows lacking the metric are skipped.
+[[nodiscard]] std::vector<analysis::pivot_cell> metric_cells(
+    const std::vector<result_row>& rows, std::string_view metric);
+
+/// Projection for study grids: one pivot row per (process @ scenario), one
+/// column per `extra` key in emission order — renders a sweep or trace as a
+/// case × metric table.
+[[nodiscard]] std::vector<analysis::pivot_cell> extras_cells(
     const std::vector<result_row>& rows);
 
 /// Thread-safe collector used while a grid is in flight.

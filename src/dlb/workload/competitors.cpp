@@ -124,6 +124,25 @@ std::vector<competitor> standard_competitors(bool diffusion_model) {
   return rows;
 }
 
+std::vector<competitor> competitor_subset(
+    bool diffusion_model, const std::vector<std::string>& prefixes) {
+  const std::vector<competitor> all = standard_competitors(diffusion_model);
+  std::vector<competitor> rows;
+  for (const std::string& prefix : prefixes) {
+    bool found = false;
+    for (const competitor& c : all) {
+      if (c.name.starts_with(prefix)) {
+        rows.push_back(c);
+        found = true;
+      }
+    }
+    if (!found) {
+      throw contract_violation("no competitor matches prefix: " + prefix);
+    }
+  }
+  return rows;
+}
+
 std::vector<weight_t> spike_workload(const graph& g, const speed_vector& s,
                                      weight_t spike_per_node) {
   const auto spike =

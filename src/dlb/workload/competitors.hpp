@@ -52,6 +52,13 @@ struct competitor {
 [[nodiscard]] std::vector<competitor> standard_competitors(
     bool diffusion_model);
 
+/// Rows of standard_competitors whose name starts with one of `prefixes`,
+/// in prefix order — the per-study subsets the scaling and dynamic grids
+/// run (e.g. {"round-down", "Alg1", "Alg2"}). Throws contract_violation
+/// when a prefix matches nothing.
+[[nodiscard]] std::vector<competitor> competitor_subset(
+    bool diffusion_model, const std::vector<std::string>& prefixes);
+
 /// The standard bench workload: a heavy spike on node 0 plus the
 /// sufficient-load floor of d·w_max tokens per speed unit (so the max-min
 /// guarantees of Theorems 3(2)/8(2) are in scope for the flow imitators).

@@ -37,6 +37,22 @@ TEST(ResultSinkTest, RowRoundTripsThroughJson) {
   EXPECT_EQ(parse_row(to_json(row)), row);
 }
 
+TEST(ResultSinkTest, ExtraMetricsRoundTripInOrder) {
+  result_row row = sample_row();
+  row.extra = {{"floor", 8}, {"threshold", 31}, {"t/T=0.5", 12.625}};
+  const std::string json = to_json(row);
+  EXPECT_NE(json.find("\"extra\":{\"floor\":8,\"threshold\":31"),
+            std::string::npos);
+  EXPECT_EQ(parse_row(json), row);
+  EXPECT_EQ(row.extra_value("threshold"), 31);
+  EXPECT_EQ(row.extra_value("absent", -1), -1);
+}
+
+TEST(ResultSinkTest, EmptyExtrasOmittedFromJson) {
+  // Rows without study metrics keep the PR-1 wire format byte-for-byte.
+  EXPECT_EQ(to_json(sample_row()).find("extra"), std::string::npos);
+}
+
 TEST(ResultSinkTest, RoundTripPreservesAwkwardReals) {
   result_row row = sample_row();
   row.final_max_min = 0.1 + 0.2;          // 0.30000000000000004

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Keep docs/REPRODUCING.md and the grid registry in sync.
+
+Fails when `dlb_run --list` names a grid that the reproduction guide's grid
+table doesn't document, or when the guide documents a grid the binary no
+longer registers. Run as:
+
+    tools/check_reproducing_docs.py <path-to-dlb_run> <path-to-REPRODUCING.md>
+
+CI runs this in the `docs` job; locally it is registered as the
+`docs_reproducing_sync` ctest when a Python interpreter is available.
+"""
+
+import re
+import subprocess
+import sys
+
+GRID_ROW = re.compile(r"^\|\s*`([A-Za-z0-9_-]+)`")
+BEGIN, END = "<!-- grids:begin -->", "<!-- grids:end -->"
+
+
+def registered_grids(dlb_run):
+    out = subprocess.run(
+        [dlb_run, "--list"], capture_output=True, text=True, check=True
+    ).stdout
+    return {line.split("\t")[0] for line in out.splitlines() if line.strip()}
+
+
+def documented_grids(doc_path):
+    with open(doc_path, encoding="utf-8") as f:
+        text = f.read()
+    if BEGIN not in text or END not in text:
+        sys.exit(
+            f"{doc_path}: missing the {BEGIN} / {END} markers around the "
+            "grid table"
+        )
+    table = text.split(BEGIN, 1)[1].split(END, 1)[0]
+    grids = set()
+    for line in table.splitlines():
+        m = GRID_ROW.match(line.strip())
+        if m:
+            grids.add(m.group(1))
+    return grids
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <dlb_run> <REPRODUCING.md>")
+    registered = registered_grids(sys.argv[1])
+    documented = documented_grids(sys.argv[2])
+    missing = sorted(registered - documented)
+    stale = sorted(documented - registered)
+    if missing:
+        print(f"grids registered but absent from {sys.argv[2]}:")
+        for name in missing:
+            print(f"  {name}")
+    if stale:
+        print(f"grids documented in {sys.argv[2]} but not registered:")
+        for name in stale:
+            print(f"  {name}")
+    if missing or stale:
+        sys.exit(1)
+    print(f"OK: {len(registered)} grids documented and registered")
+
+
+if __name__ == "__main__":
+    main()
