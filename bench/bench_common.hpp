@@ -21,20 +21,29 @@
 
 namespace dlb::bench {
 
-/// One batch of a bench: a named grid at one option set.
+/// One batch of a bench: a named grid at one option set. `label_suffix`
+/// disambiguates batches of the same grid at the same size — e.g. the
+/// huge-uniform shard-scaling batches ("-s1" vs "-s8"), whose rows differ
+/// only in wall_ns.
 struct grid_batch {
   std::string grid;
   runtime::grid_options opts;
+  std::string label_suffix;
 };
 
 /// Runs every batch on one shared pool and writes the combined rows to
 /// BENCH_<file_tag>.json. When a grid name repeats across batches (size
 /// sweeps), the grid field is suffixed `-n<target>` so (grid, cell) stays a
-/// unique key within the file.
+/// unique key within the file. `cell_threads` sizes the cell pool (0 =
+/// hardware concurrency); shard-scaling benches pass 1 so per-cell wall_ns
+/// is measured without concurrent cells competing for cores.
 inline int run_grid_bench(const std::string& file_tag,
                           std::uint64_t master_seed,
-                          const std::vector<grid_batch>& batches) {
-  runtime::thread_pool pool(runtime::thread_pool::default_threads());
+                          const std::vector<grid_batch>& batches,
+                          unsigned cell_threads = 0) {
+  runtime::thread_pool pool(cell_threads > 0
+                                ? cell_threads
+                                : runtime::thread_pool::default_threads());
   std::vector<runtime::result_row> rows;
   for (const grid_batch& batch : batches) {
     runtime::grid_spec spec =
@@ -46,6 +55,7 @@ inline int run_grid_bench(const std::string& file_tag,
     if (batches_of_grid > 1) {
       spec.name += "-n" + std::to_string(batch.opts.target_n);
     }
+    spec.name += batch.label_suffix;
     auto batch_rows = runtime::run_grid(spec, master_seed, pool);
     std::cout << "\n=== " << spec.name << " (n≈" << batch.opts.target_n
               << ", " << batch.opts.repeats

@@ -1,0 +1,37 @@
+// Sharded huge-graph stepping: the `huge-uniform` grid (ring / torus /
+// hypercube under a uniform dynamic token stream) at n ≈ 1M and 4M, run at 1
+// and at 8 shard threads. Every batch produces byte-identical metric rows —
+// sharding is an execution strategy, not a model change — so the only column
+// that moves across batches is `wall_ns`: compare the `huge-uniform-n…-s1`
+// rows against their `-s8` twins in BENCH_huge_uniform.json for the
+// intra-graph speedup (the n = 1M diffusion cells are the headline; expect
+// ≥ 3× on an 8-core machine).
+//
+// Budget: minutes on a multicore box, dominated by the hypercube cells
+// (m ≈ 10 n). Needs a few GB of RAM for the 4M-node batch.
+#include "bench_common.hpp"
+
+int main() {
+  using dlb::bench::grid_batch;
+  dlb::runtime::grid_options opts;
+  opts.target_n = 1 << 20;  // ring 2^20, torus 1024², hypercube dim 20
+  opts.dynamic_rounds = 200;
+  opts.arrivals_per_round = 1000;
+  opts.spike_per_node = 2;
+
+  grid_batch one{"huge-uniform", opts, "-s1"};
+  one.opts.shard_threads = 1;
+  grid_batch eight{"huge-uniform", opts, "-s8"};
+  eight.opts.shard_threads = 8;
+  // The 4M batch bounds the large end of the 1M–4M regime; sharded only
+  // (the sequential twin would double the bench's runtime for no new
+  // comparison — the 1M pair already anchors the speedup).
+  grid_batch four_m{"huge-uniform", opts, "-s8"};
+  four_m.opts.target_n = 1 << 22;  // ring 2^22, torus 2048², hypercube dim 22
+  four_m.opts.shard_threads = 8;
+  four_m.opts.dynamic_rounds = 100;
+
+  return dlb::bench::run_grid_bench("huge_uniform", /*master_seed=*/31,
+                                    {one, eight, four_m},
+                                    /*cell_threads=*/1);
+}

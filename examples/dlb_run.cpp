@@ -8,6 +8,9 @@
 //
 //   --grid        grid name (see --list); comma-separate to run several
 //   --threads     worker threads (default: hardware concurrency)
+//   --shard-threads  threads stepping a single graph's shards (default 1;
+//                 consumed by the huge-graph grids, e.g. huge-uniform —
+//                 rows are byte-identical for any value)
 //   --master-seed master seed pinning topology + every cell RNG (default 1)
 //   --n           approximate node count per graph case (default 128)
 //   --repeats     repetitions for randomized competitors (default 5)
@@ -73,6 +76,8 @@ int main(int argc, char** argv) {
         args.get_int("arrivals-per-round", opts.arrivals_per_round);
     opts.burst_size = args.get_int("burst-size", opts.burst_size);
     opts.burst_period = args.get_int("burst-period", opts.burst_period);
+    opts.shard_threads = static_cast<unsigned>(
+        args.get_int("shard-threads", opts.shard_threads));
     const auto master_seed =
         static_cast<std::uint64_t>(args.get_int("master-seed", 1));
     const auto threads = static_cast<unsigned>(args.get_int(
@@ -97,7 +102,11 @@ int main(int argc, char** argv) {
           runtime::make_named_grid(name, opts, master_seed);
       std::cerr << "running grid '" << spec.name << "' ("
                 << runtime::expand_grid(spec, master_seed).size()
-                << " cells, " << threads << " threads)\n";
+                << " cells, " << threads << " threads";
+      if (spec.shard_threads > 1) {
+        std::cerr << ", " << spec.shard_threads << " shard threads";
+      }
+      std::cerr << ")\n";
       auto rows = runtime::run_grid(spec, master_seed, pool);
       if (want_table) {
         std::cerr << "\n" << spec.description << "\n";

@@ -7,15 +7,6 @@ namespace dlb {
 
 namespace {
 
-/// One pending transfer: the task set S_ij in flight over an edge.
-struct pending_transfer {
-  node_id to = invalid_node;
-  std::vector<weight_t> real_weights;
-  std::vector<node_id> real_origins;  // parallel to real_weights
-  weight_t dummy_count = 0;
-  weight_t total = 0;
-};
-
 const graph& checked_topology(const continuous_process* p) {
   DLB_EXPECTS(p != nullptr);
   return p->topology();
@@ -42,7 +33,11 @@ algorithm1::algorithm1(std::unique_ptr<continuous_process> process,
     x0[i] = static_cast<real_t>(loads_[i]);
   }
   process_->reset(std::move(x0));
-  last_sent_.assign(static_cast<size_t>(process_->topology().num_edges()), 0);
+  const std::size_t m =
+      static_cast<size_t>(process_->topology().num_edges());
+  last_sent_.assign(m, 0);
+  deficit_.assign(m, 0.0);
+  outbox_.resize(m);
 }
 
 void algorithm1::inject_tokens(node_id i, weight_t count) {
@@ -57,86 +52,151 @@ void algorithm1::inject_task(node_id i, weight_t w) {
   process_->inject_load(i, static_cast<real_t>(w));
 }
 
-void algorithm1::step() {
-  const graph& g = process_->topology();
-
-  // Advance the continuous reference to round t, making f^A_{i,j}(t) known.
-  process_->step();
-
-  std::fill(last_sent_.begin(), last_sent_.end(), 0);
-  std::vector<pending_transfer> outbox(static_cast<size_t>(g.num_edges()));
-
-  // Each node allocates tasks to its outgoing transfer sets. Only the
-  // direction with positive deficit sends (Observation 4's argument); the
-  // node's pool shrinks as edges are processed, so tasks committed to one
-  // edge are unavailable to the next ("unallocated tasks").
-  for (edge_id e = 0; e < g.num_edges(); ++e) {
-    const edge& ed = g.endpoints(e);
-    // Deficit oriented u→v. Snap near-integer values to kill float dust.
+// Phase 1 (per edge): flow deficit ŷ_{u,v}(t) = f^A(t) - f^D(t-1), oriented
+// u→v, with near-integer values snapped to kill float dust. Also resets the
+// edge's transfer set and last-sent record for this round. Reads only
+// pre-round state, so any edge partition computes identical bits.
+void algorithm1::deficit_phase(edge_id e0, edge_id e1) {
+  for (edge_id e = e0; e < e1; ++e) {
     real_t deficit = process_->cumulative_flow(e) -
                      static_cast<real_t>(ledger_.forward(e));
     const real_t snapped = std::round(deficit);
     if (std::abs(deficit - snapped) < flow_epsilon) deficit = snapped;
+    deficit_[static_cast<size_t>(e)] = deficit;
+    last_sent_[static_cast<size_t>(e)] = 0;
+    pending_transfer& out = outbox_[static_cast<size_t>(e)];
+    out.to = invalid_node;
+    out.real_weights.clear();
+    out.real_origins.clear();
+    out.dummy_count = 0;
+    out.total = 0;
+  }
+}
 
-    node_id sender = invalid_node;
-    node_id receiver = invalid_node;
-    real_t amount = 0;
-    if (deficit > 0) {
-      sender = ed.u;
-      receiver = ed.v;
-      amount = deficit;
-    } else if (deficit < 0) {
-      sender = ed.v;
-      receiver = ed.u;
-      amount = -deficit;
-    } else {
-      continue;
-    }
-
-    pending_transfer& out = outbox[static_cast<size_t>(e)];
-    out.to = receiver;
-    task_pool& pool = tasks_.pool(sender);
-    // while ŷ - |S| >= w_max: add one more task (floor semantics; see
-    // header note). Dummies are created only when the pool is empty.
-    while (amount - static_cast<real_t>(out.total) >=
-           static_cast<real_t>(wmax_) - flow_epsilon) {
-      if (pool.empty()) {
-        ++out.dummy_count;
-        ++out.total;
-        ++dummy_created_;
+// Phase 2 (per node): each node allocates tasks to the transfer sets of the
+// edges on which it is the sender — the deficit points away from it — in
+// ascending edge-id order. Only the direction with positive deficit sends
+// (Observation 4's argument); the node's pool shrinks as its edges are
+// processed, so tasks committed to one edge are unavailable to the next
+// ("unallocated tasks"). Exactly one endpoint of an edge is its sender, so
+// the per-edge writes (outbox, ledger, last_sent) have a single writer, and
+// a node's pool evolves exactly as under the sequential global edge loop.
+weight_t algorithm1::send_phase(node_id i0, node_id i1) {
+  const graph& g = process_->topology();
+  weight_t dummies_minted = 0;
+  for (node_id i = i0; i < i1; ++i) {
+    task_pool& pool = tasks_.pool(i);
+    for (const incidence& inc : g.neighbors(i)) {
+      const edge_id e = inc.edge;
+      const real_t deficit = deficit_[static_cast<size_t>(e)];
+      // Endpoints are normalized u < v: i is the edge's u iff the neighbor
+      // is larger. Positive deficit sends u→v, negative sends v→u.
+      const bool is_u = inc.neighbor > i;
+      real_t amount = 0;
+      if (deficit > 0 && is_u) {
+        amount = deficit;
+      } else if (deficit < 0 && !is_u) {
+        amount = -deficit;
       } else {
-        const task_pool::removed_task q =
-            pool.remove_arbitrary(config_.removal);
-        if (q.is_dummy) {
+        continue;
+      }
+
+      pending_transfer& out = outbox_[static_cast<size_t>(e)];
+      out.to = inc.neighbor;
+      // while ŷ - |S| >= w_max: add one more task (floor semantics; see
+      // header note). Dummies are created only when the pool is empty.
+      while (amount - static_cast<real_t>(out.total) >=
+             static_cast<real_t>(wmax_) - flow_epsilon) {
+        if (pool.empty()) {
           ++out.dummy_count;
+          ++out.total;
+          ++dummies_minted;
         } else {
-          out.real_weights.push_back(q.weight);
-          out.real_origins.push_back(q.origin);
+          const task_pool::removed_task q =
+              pool.remove_arbitrary(config_.removal);
+          if (q.is_dummy) {
+            ++out.dummy_count;
+          } else {
+            out.real_weights.push_back(q.weight);
+            out.real_origins.push_back(q.origin);
+          }
+          out.total += q.weight;
         }
-        out.total += q.weight;
+      }
+      if (out.total > 0) {
+        ledger_.record(e, i, out.total);
+        last_sent_[static_cast<size_t>(e)] = is_u ? out.total : -out.total;
       }
     }
-    if (out.total > 0) {
-      ledger_.record(e, sender, out.total);
-      last_sent_[static_cast<size_t>(e)] =
-          sender == ed.u ? out.total : -out.total;
+  }
+  return dummies_minted;
+}
+
+// Phase 3 (per node): each node drains its inbound transfer sets in
+// ascending edge-id order — the same order the sequential delivery loop
+// pushes into its pool, so the pool's LIFO state is preserved exactly —
+// then refreshes its cached load. Tasks received this round cannot be
+// re-sent this round (delivery is synchronous, after every send).
+void algorithm1::receive_phase(node_id i0, node_id i1) {
+  const graph& g = process_->topology();
+  for (node_id i = i0; i < i1; ++i) {
+    task_pool& dest = tasks_.pool(i);
+    for (const incidence& inc : g.neighbors(i)) {
+      const pending_transfer& out = outbox_[static_cast<size_t>(inc.edge)];
+      if (out.to != i || out.total == 0) continue;
+      for (std::size_t k = 0; k < out.real_weights.size(); ++k) {
+        dest.add_real(out.real_weights[k], out.real_origins[k]);
+      }
+      dest.add_dummies(out.dummy_count);
     }
+    loads_[static_cast<size_t>(i)] = dest.total_weight();
+  }
+}
+
+void algorithm1::step() {
+  const graph& g = process_->topology();
+
+  // Advance the continuous reference to round t, making f^A_{i,j}(t) known
+  // (itself sharded when sharding is enabled).
+  process_->step();
+
+  if (shard_ == nullptr) {
+    deficit_phase(0, g.num_edges());
+    dummy_created_ += send_phase(0, g.num_nodes());
+    receive_phase(0, g.num_nodes());
+  } else {
+    const shard_plan& plan = shard_->plan;
+    shard_->for_each_shard([&](std::size_t s) {
+      deficit_phase(plan.edge_begin(s), plan.edge_end(s));
+    });
+    std::vector<weight_t> minted(plan.num_shards(), 0);
+    shard_->for_each_shard([&](std::size_t s) {
+      minted[s] = send_phase(plan.node_begin(s), plan.node_end(s));
+    });
+    for (const weight_t d : minted) dummy_created_ += d;
+    shard_->for_each_shard([&](std::size_t s) {
+      receive_phase(plan.node_begin(s), plan.node_end(s));
+    });
   }
 
-  // Deliver all transfers synchronously (tasks received this round cannot be
-  // re-sent this round).
-  for (edge_id e = 0; e < g.num_edges(); ++e) {
-    pending_transfer& out = outbox[static_cast<size_t>(e)];
-    if (out.to == invalid_node || out.total == 0) continue;
-    task_pool& dest = tasks_.pool(out.to);
-    for (std::size_t k = 0; k < out.real_weights.size(); ++k) {
-      dest.add_real(out.real_weights[k], out.real_origins[k]);
-    }
-    dest.add_dummies(out.dummy_count);
-  }
-
-  loads_ = tasks_.loads();
   ++t_;
+}
+
+void algorithm1::enable_sharded_stepping(
+    std::shared_ptr<const shard_context> ctx) {
+  DLB_EXPECTS(ctx != nullptr);
+  DLB_EXPECTS(ctx->plan.num_nodes() == process_->topology().num_nodes());
+  DLB_EXPECTS(ctx->plan.num_edges() == process_->topology().num_edges());
+  shard_ = ctx;
+  // The internal continuous reference steps inside the same round; shard it
+  // too when it supports it (flow imitation stays exact either way).
+  try_enable_sharding(*process_, std::move(ctx));
+}
+
+void algorithm1::real_load_extrema(node_id begin, node_id end, real_t& lo,
+                                   real_t& hi) const {
+  const speed_vector& s = process_->speeds();
+  tasks_.real_load_extrema(begin, end, s, lo, hi);
 }
 
 }  // namespace dlb

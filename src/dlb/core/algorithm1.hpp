@@ -23,6 +23,7 @@
 
 #include "dlb/core/flow_ledger.hpp"
 #include "dlb/core/process.hpp"
+#include "dlb/core/sharding.hpp"
 #include "dlb/core/tasks.hpp"
 
 namespace dlb {
@@ -34,7 +35,14 @@ struct algorithm1_config {
   weight_t wmax_override = 0;
 };
 
-class algorithm1 final : public discrete_process {
+/// Each round decomposes into a deficit phase (per edge), a send phase (each
+/// node allocates tasks to its positive-deficit edges in ascending edge-id
+/// order — only the sender's own pool shrinks, so nodes are independent), and
+/// a receive phase (each node drains its inbound transfer sets, again in
+/// ascending edge-id order). `enable_sharded_stepping` runs the phases over a
+/// shard plan with results bit-identical to the sequential round (the pool
+/// push/pop order per node is preserved exactly; see core/sharding.hpp).
+class algorithm1 final : public discrete_process, public shardable {
  public:
   /// `process` is a *fresh* continuous process (it will be reset to the
   /// total-weight load vector of `initial` and stepped internally).
@@ -100,7 +108,35 @@ class algorithm1 final : public discrete_process {
   /// Task pools (read-only view).
   [[nodiscard]] const task_assignment& tasks() const { return tasks_; }
 
+  // shardable (also enables sharding on the internal continuous process when
+  // it supports it):
+  void enable_sharded_stepping(
+      std::shared_ptr<const shard_context> ctx) override;
+  [[nodiscard]] std::shared_ptr<const shard_context> sharding()
+      const override {
+    return shard_;
+  }
+  void real_load_extrema(node_id begin, node_id end, real_t& lo,
+                         real_t& hi) const override;
+
  private:
+  /// One pending transfer: the task set S_ij in flight over an edge.
+  /// Persistent (vectors keep their capacity across rounds) so that a
+  /// million-edge round does not churn the allocator.
+  struct pending_transfer {
+    node_id to = invalid_node;
+    std::vector<weight_t> real_weights;
+    std::vector<node_id> real_origins;  // parallel to real_weights
+    weight_t dummy_count = 0;
+    weight_t total = 0;
+  };
+
+  // One round's phases; ranges are one shard's slice of edges/nodes. The
+  // send phase returns the shard's dummy-token mint count.
+  void deficit_phase(edge_id e0, edge_id e1);
+  [[nodiscard]] weight_t send_phase(node_id i0, node_id i1);
+  void receive_phase(node_id i0, node_id i1);
+
   std::unique_ptr<continuous_process> process_;
   task_assignment tasks_;
   algorithm1_config config_;
@@ -110,6 +146,9 @@ class algorithm1 final : public discrete_process {
   std::vector<weight_t> last_sent_;
   weight_t dummy_created_ = 0;
   round_t t_ = 0;
+  std::vector<real_t> deficit_;           // per-edge ŷ, oriented u→v (reused)
+  std::vector<pending_transfer> outbox_;  // per-edge transfer sets (reused)
+  std::shared_ptr<const shard_context> shard_;  // null → sequential stepping
 };
 
 }  // namespace dlb

@@ -4,8 +4,26 @@
 #include <cmath>
 
 #include "dlb/common/contracts.hpp"
+#include "dlb/core/sharding.hpp"
 
 namespace dlb {
+
+namespace {
+
+/// Per-round max-min discrepancy of the real loads. Uses the parallel
+/// per-shard min/max reduction when `d` steps sharded — the sequential
+/// real_loads() path materializes an O(n) vector per round, which would
+/// serialize exactly the huge-graph cells sharding exists for. The two paths
+/// are exactly equal (min/max folds are associative).
+real_t round_discrepancy(const discrete_process& d) {
+  if (const auto* sh = dynamic_cast<const shardable*>(&d);
+      sh != nullptr && sh->sharding() != nullptr) {
+    return sharded_max_min_discrepancy(*sh);
+  }
+  return max_min_discrepancy(d.real_loads(), d.speeds());
+}
+
+}  // namespace
 
 bool is_balanced(const continuous_process& a, real_t tol) {
   const std::vector<real_t>& x = a.loads();
@@ -70,7 +88,7 @@ dynamic_result run_dynamic(discrete_process& d,
     d.step();
     if (obs) obs(d.rounds_executed(), d);
     if (t >= warmup) {
-      const real_t disc = max_min_discrepancy(d.real_loads(), d.speeds());
+      const real_t disc = round_discrepancy(d);
       sum += disc;
       r.peak_max_min = std::max(r.peak_max_min, disc);
       ++samples;
@@ -91,6 +109,13 @@ experiment_result run_experiment(discrete_process& d,
     x0[i] = static_cast<real_t>(d.loads()[i]);
   }
   auto reference = reference_template.clone_fresh();
+  // The T^A probe steps the same topology as `d`; when `d` runs sharded,
+  // step the probe over the same shard context too (clone_fresh starts
+  // sequential, so the context must be re-attached here).
+  if (const auto* sh = dynamic_cast<const shardable*>(&d);
+      sh != nullptr && sh->sharding() != nullptr) {
+    try_enable_sharding(*reference, sh->sharding());
+  }
   const balancing_time_result bt =
       measure_balancing_time(*reference, x0, cap);
 

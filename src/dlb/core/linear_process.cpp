@@ -96,61 +96,111 @@ void linear_process::reset(std::vector<real_t> x0) {
   t_ = 0;
   started_ = true;
   negative_load_ = false;
+  alphas_cached_ = false;
+}
+
+// Phase 1 (per edge): this round's flows y(t), eqs. (10)-(11) — in round 0
+// the recurrence has no history term, y(0) = P(0)·x(0) — plus the cumulative
+// flow ledger update. Pure per-edge function of the pre-round state, so any
+// edge partition computes identical bits.
+void linear_process::flow_phase(edge_id e0, edge_id e1) {
+  const graph& g = *g_;
+  for (edge_id e = e0; e < e1; ++e) {
+    const edge& ed = g.endpoints(e);
+    const real_t a = alpha_buf_[static_cast<size_t>(e)];
+    const real_t rate_u = a / static_cast<real_t>(s_[static_cast<size_t>(ed.u)]);
+    const real_t rate_v = a / static_cast<real_t>(s_[static_cast<size_t>(ed.v)]);
+    directed_flow& y = y_next_[static_cast<size_t>(e)];
+    if (t_ == 0) {
+      y.forward = rate_u * x_[static_cast<size_t>(ed.u)];
+      y.backward = rate_v * x_[static_cast<size_t>(ed.v)];
+    } else {
+      const directed_flow& prev = y_prev_[static_cast<size_t>(e)];
+      y.forward =
+          (beta_ - 1.0) * prev.forward + beta_ * rate_u * x_[static_cast<size_t>(ed.u)];
+      y.backward =
+          (beta_ - 1.0) * prev.backward + beta_ * rate_v * x_[static_cast<size_t>(ed.v)];
+    }
+    cum_flow_[static_cast<size_t>(e)] += y.forward - y.backward;
+  }
+}
+
+// Phase 2 (per node): negative-load detection (Definition 1 — a node's
+// outgoing demand must not exceed its current load; only SOS can violate
+// this, paper §3) against the pre-transfer load, then the transfer
+// application. Each node folds its incident edges in ascending edge-id order
+// (the adjacency build order), which is exactly the contribution order the
+// sequential per-edge loop applies to that node's accumulator — so the
+// floating-point result is bit-identical for any node partition.
+bool linear_process::node_phase(node_id i0, node_id i1) {
+  const graph& g = *g_;
+  bool negative = false;
+  for (node_id i = i0; i < i1; ++i) {
+    real_t outgoing = 0;
+    for (const incidence& inc : g.neighbors(i)) {
+      const directed_flow& y = y_next_[static_cast<size_t>(inc.edge)];
+      // Endpoints are normalized u < v, so i is the edge's u iff the
+      // neighbor is the larger endpoint.
+      outgoing += inc.neighbor > i ? y.forward : y.backward;
+    }
+    if (x_[static_cast<size_t>(i)] - outgoing < -flow_epsilon) {
+      negative = true;
+    }
+    for (const incidence& inc : g.neighbors(i)) {
+      const directed_flow& y = y_next_[static_cast<size_t>(inc.edge)];
+      const real_t net = y.forward - y.backward;
+      x_[static_cast<size_t>(i)] += inc.neighbor > i ? -net : net;
+    }
+  }
+  return negative;
 }
 
 void linear_process::step() {
   DLB_EXPECTS(started_);
   const graph& g = *g_;
-  schedule_->alphas(t_, alpha_buf_);
-  DLB_ASSERT(static_cast<edge_id>(alpha_buf_.size()) == g.num_edges());
+  if (!alphas_cached_) {
+    schedule_->alphas(t_, alpha_buf_);
+    DLB_ASSERT(static_cast<edge_id>(alpha_buf_.size()) == g.num_edges());
+    alphas_cached_ = schedule_->time_invariant();
+  }
+  y_next_.resize(static_cast<size_t>(g.num_edges()));
 
-  // Compute this round's flows, eqs. (10)-(11). In round 0 the recurrence has
-  // no history term: y(0) = P(0)·x(0).
-  std::vector<directed_flow> y(static_cast<size_t>(g.num_edges()));
-  for (edge_id e = 0; e < g.num_edges(); ++e) {
-    const edge& ed = g.endpoints(e);
-    const real_t a = alpha_buf_[static_cast<size_t>(e)];
-    const real_t rate_u = a / static_cast<real_t>(s_[static_cast<size_t>(ed.u)]);
-    const real_t rate_v = a / static_cast<real_t>(s_[static_cast<size_t>(ed.v)]);
-    if (t_ == 0) {
-      y[static_cast<size_t>(e)].forward = rate_u * x_[static_cast<size_t>(ed.u)];
-      y[static_cast<size_t>(e)].backward = rate_v * x_[static_cast<size_t>(ed.v)];
-    } else {
-      const directed_flow& prev = y_prev_[static_cast<size_t>(e)];
-      y[static_cast<size_t>(e)].forward =
-          (beta_ - 1.0) * prev.forward + beta_ * rate_u * x_[static_cast<size_t>(ed.u)];
-      y[static_cast<size_t>(e)].backward =
-          (beta_ - 1.0) * prev.backward + beta_ * rate_v * x_[static_cast<size_t>(ed.v)];
+  if (shard_ == nullptr) {
+    flow_phase(0, g.num_edges());
+    if (node_phase(0, g.num_nodes())) negative_load_ = true;
+  } else {
+    const shard_plan& plan = shard_->plan;
+    shard_->for_each_shard(
+        [&](std::size_t s) { flow_phase(plan.edge_begin(s), plan.edge_end(s)); });
+    std::vector<char> negative(plan.num_shards(), 0);
+    shard_->for_each_shard([&](std::size_t s) {
+      negative[s] = node_phase(plan.node_begin(s), plan.node_end(s)) ? 1 : 0;
+    });
+    for (const char flag : negative) {
+      if (flag) negative_load_ = true;
     }
   }
 
-  // Negative-load detection (Definition 1): a node's outgoing demand must not
-  // exceed its current load. (Only SOS can violate this; paper §3.)
-  std::vector<real_t> outgoing(static_cast<size_t>(g.num_nodes()), 0.0);
-  for (edge_id e = 0; e < g.num_edges(); ++e) {
-    const edge& ed = g.endpoints(e);
-    outgoing[static_cast<size_t>(ed.u)] += y[static_cast<size_t>(e)].forward;
-    outgoing[static_cast<size_t>(ed.v)] += y[static_cast<size_t>(e)].backward;
-  }
-  for (node_id i = 0; i < g.num_nodes(); ++i) {
-    if (x_[static_cast<size_t>(i)] - outgoing[static_cast<size_t>(i)] <
-        -flow_epsilon) {
-      negative_load_ = true;
-    }
-  }
-
-  // Apply transfers and update the cumulative flow ledger.
-  for (edge_id e = 0; e < g.num_edges(); ++e) {
-    const edge& ed = g.endpoints(e);
-    const real_t net = y[static_cast<size_t>(e)].forward -
-                       y[static_cast<size_t>(e)].backward;
-    x_[static_cast<size_t>(ed.u)] -= net;
-    x_[static_cast<size_t>(ed.v)] += net;
-    cum_flow_[static_cast<size_t>(e)] += net;
-  }
-
-  y_prev_ = std::move(y);
+  y_prev_.swap(y_next_);
   ++t_;
+}
+
+void linear_process::enable_sharded_stepping(
+    std::shared_ptr<const shard_context> ctx) {
+  DLB_EXPECTS(ctx != nullptr);
+  DLB_EXPECTS(ctx->plan.num_nodes() == g_->num_nodes());
+  DLB_EXPECTS(ctx->plan.num_edges() == g_->num_edges());
+  shard_ = std::move(ctx);
+}
+
+void linear_process::real_load_extrema(node_id begin, node_id end, real_t& lo,
+                                       real_t& hi) const {
+  for (node_id i = begin; i < end; ++i) {
+    const real_t per_speed =
+        x_[static_cast<size_t>(i)] / static_cast<real_t>(s_[static_cast<size_t>(i)]);
+    lo = std::min(lo, per_speed);
+    hi = std::max(hi, per_speed);
+  }
 }
 
 real_t linear_process::cumulative_flow(edge_id e) const {

@@ -44,6 +44,11 @@ class alpha_schedule {
   /// Writes α_e(t) for every edge into `out` (resized to num_edges).
   virtual void alphas(round_t t, std::vector<real_t>& out) const = 0;
 
+  /// True when alphas(t) is the same for every t (diffusion). Lets steppers
+  /// fetch the matrix once instead of copying O(m) coefficients per round —
+  /// a real cost on million-edge graphs.
+  [[nodiscard]] virtual bool time_invariant() const { return false; }
+
   /// Deep copy (schedules are immutable; copies are interchangeable).
   [[nodiscard]] virtual std::unique_ptr<alpha_schedule> clone() const = 0;
 

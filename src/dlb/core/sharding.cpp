@@ -1,0 +1,45 @@
+#include "dlb/core/sharding.hpp"
+
+#include <algorithm>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb {
+
+shard_plan::shard_plan(const graph& g, std::size_t num_shards)
+    : n_(g.num_nodes()), m_(g.num_edges()) {
+  DLB_EXPECTS(num_shards >= 1);
+  // No empty node shards: the metric reduction folds one extremum per shard,
+  // and an empty range would contribute its sentinel.
+  const std::size_t shards =
+      std::min<std::size_t>(num_shards, static_cast<std::size_t>(n_));
+  node_cut_.resize(shards + 1);
+  edge_cut_.resize(shards + 1);
+  for (std::size_t s = 0; s <= shards; ++s) {
+    node_cut_[s] = static_cast<node_id>(
+        static_cast<std::size_t>(n_) * s / shards);
+    edge_cut_[s] = static_cast<edge_id>(
+        static_cast<std::size_t>(m_) * s / shards);
+  }
+}
+
+real_t sharded_max_min_discrepancy(const shardable& sh) {
+  const std::shared_ptr<const shard_context> ctx = sh.sharding();
+  DLB_EXPECTS(ctx != nullptr);
+  const std::size_t shards = ctx->plan.num_shards();
+  std::vector<real_t> lo(shards, 1e300);
+  std::vector<real_t> hi(shards, -1e300);
+  ctx->for_each_shard([&](std::size_t s) {
+    sh.real_load_extrema(ctx->plan.node_begin(s), ctx->plan.node_end(s),
+                         lo[s], hi[s]);
+  });
+  real_t min_span = 1e300;
+  real_t max_span = -1e300;
+  for (std::size_t s = 0; s < shards; ++s) {
+    min_span = std::min(min_span, lo[s]);
+    max_span = std::max(max_span, hi[s]);
+  }
+  return max_span - min_span;
+}
+
+}  // namespace dlb

@@ -1,0 +1,126 @@
+// Sharded stepping: intra-graph parallelism for a single huge network.
+//
+// The paper's processes are synchronous per-round maps over all nodes, so one
+// round decomposes into embarrassingly parallel per-edge and per-node phases
+// separated by barriers (compute flows → apply flows; allocate send sets →
+// deliver).  A `shard_plan` partitions the nodes and edges of one graph into
+// contiguous ranges; a `shard_context` couples the plan with a `shard_runner`
+// (typically a dlb::runtime::thread_pool) that executes one body per shard
+// and blocks until all shards finish — the barrier.
+//
+// Determinism contract (docs/ARCHITECTURE.md, "Sharded stepping"): a sharded
+// step must be *bit-identical* to the sequential step for any shard count.
+// The phase decomposition guarantees this because
+//  * per-edge quantities (flows, cumulative-flow updates, deficits) are pure
+//    functions of the pre-round state, and
+//  * per-node accumulators (load updates, outgoing sums, task pools) receive
+//    their contributions in ascending incident-edge order — exactly the order
+//    the sequential edge loop applies them, because graph adjacency lists are
+//    built in ascending edge-id order.
+// No floating-point sum is ever regrouped across shards; integer reductions
+// (dummy counters) and min/max reductions (discrepancy extrema) are
+// order-independent by construction.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dlb/common/types.hpp"
+#include "dlb/graph/graph.hpp"
+
+namespace dlb {
+
+/// Executes body(i) for every i in [0, count) — possibly in parallel — and
+/// returns only when all invocations finished (the phase barrier). The serial
+/// fallback is simply a for loop; dlb::runtime adapts thread_pool to this.
+using shard_runner = std::function<void(
+    std::size_t count, const std::function<void(std::size_t)>& body)>;
+
+/// Contiguous partition of one graph's nodes and edges into shards. Node and
+/// edge ranges are cut independently (per-edge phases are pure, so edge work
+/// need not align with node ownership); both are balanced by count. The
+/// requested shard count is clamped so no shard is empty.
+class shard_plan {
+ public:
+  shard_plan() = default;
+  shard_plan(const graph& g, std::size_t num_shards);
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return node_cut_.empty() ? 0 : node_cut_.size() - 1;
+  }
+  [[nodiscard]] node_id num_nodes() const noexcept { return n_; }
+  [[nodiscard]] edge_id num_edges() const noexcept { return m_; }
+
+  [[nodiscard]] node_id node_begin(std::size_t s) const { return node_cut_[s]; }
+  [[nodiscard]] node_id node_end(std::size_t s) const {
+    return node_cut_[s + 1];
+  }
+  [[nodiscard]] edge_id edge_begin(std::size_t s) const { return edge_cut_[s]; }
+  [[nodiscard]] edge_id edge_end(std::size_t s) const {
+    return edge_cut_[s + 1];
+  }
+
+ private:
+  node_id n_ = 0;
+  edge_id m_ = 0;
+  std::vector<node_id> node_cut_;  // size num_shards+1, ascending
+  std::vector<edge_id> edge_cut_;  // size num_shards+1, ascending
+};
+
+/// A plan plus the runner that executes its shards. One context is built per
+/// experiment cell (outside the timed engine call) and shared by the discrete
+/// process and its internal continuous reference.
+struct shard_context {
+  shard_plan plan;
+  shard_runner run;
+
+  /// Runs fn(shard) for every shard and waits for all — one barrier phase.
+  void for_each_shard(const std::function<void(std::size_t)>& fn) const {
+    run(plan.num_shards(), fn);
+  }
+};
+
+/// Mixin for processes that support two-phase sharded stepping. Enabling is
+/// a pure execution-strategy switch: all observable state (loads, flows,
+/// pools, RNG streams) evolves bit-identically to the sequential path.
+class shardable {
+ public:
+  virtual ~shardable() = default;
+
+  /// Switches step() to sharded execution. The context's plan must describe
+  /// this process's topology (node/edge counts are checked).
+  virtual void enable_sharded_stepping(
+      std::shared_ptr<const shard_context> ctx) = 0;
+
+  /// The active context, or nullptr when stepping sequentially.
+  [[nodiscard]] virtual std::shared_ptr<const shard_context> sharding()
+      const = 0;
+
+  /// Min/max load-per-speed over nodes [begin, end), folded into lo/hi (which
+  /// the caller seeds with +/-inf sentinels). Real loads, dummies eliminated —
+  /// the quantity the engine's per-round discrepancy metrics read.
+  virtual void real_load_extrema(node_id begin, node_id end, real_t& lo,
+                                 real_t& hi) const = 0;
+};
+
+/// Enables sharded stepping when the process implements `shardable`; returns
+/// false (leaving the process sequential) otherwise. Works for both
+/// continuous_process and discrete_process.
+template <typename Process>
+bool try_enable_sharding(Process& p,
+                         std::shared_ptr<const shard_context> ctx) {
+  if (auto* sh = dynamic_cast<shardable*>(&p)) {
+    sh->enable_sharded_stepping(std::move(ctx));
+    return true;
+  }
+  return false;
+}
+
+/// Max-min discrepancy of `sh`'s real loads via a parallel per-shard min/max
+/// reduction. Exactly equal to max_min_discrepancy(real_loads, speeds):
+/// min/max folds are associative, so the shard grouping cannot change the
+/// result.
+[[nodiscard]] real_t sharded_max_min_discrepancy(const shardable& sh);
+
+}  // namespace dlb

@@ -143,6 +143,13 @@ class task_assignment {
   /// assignment so that bounds like 2·d·w_max stay meaningful.
   [[nodiscard]] weight_t max_task_weight() const;
 
+  /// Folds min/max real-load-per-speed over nodes [begin, end) into lo/hi
+  /// (callers seed the sentinels). Lets sharded metric reductions scan the
+  /// pools directly instead of materializing an O(n) load vector per round.
+  void real_load_extrema(node_id begin, node_id end,
+                         const std::vector<weight_t>& speeds, real_t& lo,
+                         real_t& hi) const;
+
  private:
   std::vector<task_pool> pools_;
 };

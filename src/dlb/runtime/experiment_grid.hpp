@@ -61,6 +61,15 @@ struct grid_spec {
   round_t round_cap = 2'000'000;
   table_view view = table_view::discrepancy;
 
+  /// Intra-cell parallelism: threads stepping a single graph's shards
+  /// (core/sharding.hpp). 1 = sequential stepping. When > 1, run_cell builds
+  /// a per-cell shard pool + plan (outside the timed engine call) and
+  /// enables sharded stepping on processes that support it; rows stay
+  /// byte-identical for any value — sharding is an execution strategy, not a
+  /// model change. Meant for huge-graph grids whose cell count is small;
+  /// standard grids keep 1 and parallelize across cells instead.
+  unsigned shard_threads = 1;
+
   /// Explicit (graph_index, process_index) cell list. Empty means the full
   /// graphs × processes cross product; study grids whose process variants
   /// only make sense on specific graphs (e.g. the dummy-threshold sweeps)

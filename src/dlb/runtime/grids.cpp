@@ -746,6 +746,68 @@ grid_spec ablation_grid(const grid_options& opts, std::uint64_t master) {
   return spec;
 }
 
+// ----------------------------------------------------- huge-uniform grid
+
+// Sharded huge-graph stepping: a single ring / torus / hypercube with n in
+// the millions, balanced by flow imitation while a uniform token stream
+// arrives — the regime of Sauerwald–Sun (arbitrary topologies at scale) and
+// Berenbrink et al.'s dynamic averaging. A static run is off the table here
+// (T^FOS on a ring grows with n²), so the grid is a dynamic-arrivals study:
+// fixed round budget, steady-state discrepancy band. Cells honour
+// `opts.shard_threads`: the round is stepped shard-parallel with
+// byte-identical rows at any thread count (docs/ARCHITECTURE.md, "Sharded
+// stepping"). Both competitors are Alg1 flow imitation — the diffusion row
+// over FOS, the matching row over a periodic schedule from the *greedy*
+// colouring (Misra–Gries's O(m·n) worst case is prohibitive at this scale).
+grid_spec huge_uniform_grid(const grid_options& opts,
+                            std::uint64_t /*master*/) {
+  grid_spec spec;
+  spec.kind = grid_kind::dynamic_arrivals;
+  spec.view = table_view::mean_discrepancy;
+  spec.comm_model = workload::model::diffusion;
+  spec.shard_threads = opts.shard_threads;
+  spec.dynamic_rounds = opts.dynamic_rounds;
+  spec.arrivals_per_round = opts.arrivals_per_round;
+  spec.spike_per_node = opts.spike_per_node;
+
+  const node_id ring_n = std::max<node_id>(16, opts.target_n);
+  spec.graphs.push_back(make_case("ring(n=" + std::to_string(ring_n) + ")",
+                                  "ring", generators::cycle(ring_n)));
+  spec.graphs.push_back(torus_case(opts.target_n));
+  spec.graphs.push_back(hypercube_case(opts.target_n));
+
+  spec.processes.push_back(
+      {"Alg1 (FOS diffusion)", false,
+       [](std::shared_ptr<const graph> g, const speed_vector& s,
+          const std::vector<weight_t>& tokens, workload::model,
+          std::uint64_t) -> std::unique_ptr<discrete_process> {
+         return std::make_unique<algorithm1>(
+             make_fos(g, s, default_alphas(*g)),
+             task_assignment::tokens(tokens));
+       }});
+  spec.processes.push_back(
+      {"Alg1 (periodic matchings, greedy)", false,
+       [](std::shared_ptr<const graph> g, const speed_vector& s,
+          const std::vector<weight_t>& tokens, workload::model,
+          std::uint64_t) -> std::unique_ptr<discrete_process> {
+         const edge_coloring c = greedy_edge_coloring(*g);
+         return std::make_unique<algorithm1>(
+             make_periodic_matching_process(g, s, to_matchings(*g, c)),
+             task_assignment::tokens(tokens));
+       }});
+  // Both rows ignore spec.comm_model (each fixes its own schedule); relabel
+  // the matching row so the model column stays honest. Note: shard_threads
+  // deliberately never reaches the row — rows must stay byte-identical
+  // across shard counts.
+  spec.annotate = [](const grid_spec&, const grid_cell& cell,
+                     result_row& row) {
+    if (cell.process_index == 1) {
+      row.model = workload::model_name(workload::model::periodic_matching);
+    }
+  };
+  return spec;
+}
+
 // -------------------------------------------------- balancing-time grid
 
 // Figure F: continuous balancing times vs spectral predictions —
@@ -870,6 +932,10 @@ constexpr grid_entry registry[] = {
     {"dynamic-bursts",
      "Dynamic arrivals: periodic bursts at one hotspot while diffusing",
      dynamic_bursts_grid},
+    {"huge-uniform",
+     "Huge-graph stream: ring/torus/hypercube stepped shard-parallel "
+     "(--shard-threads)",
+     huge_uniform_grid},
 };
 
 }  // namespace

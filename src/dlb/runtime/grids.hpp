@@ -39,6 +39,9 @@ struct grid_options {
   weight_t burst_size = 500;
   /// dynamic-bursts: rounds between bursts (`--burst-period`).
   round_t burst_period = 100;
+  /// Threads stepping a single graph's shards (`--shard-threads`); only the
+  /// huge-graph grids consume it. Rows are byte-identical for any value.
+  unsigned shard_threads = 1;
 };
 
 /// Name + one-line description of a registered grid.

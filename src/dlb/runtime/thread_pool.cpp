@@ -34,7 +34,10 @@ unsigned thread_pool::default_threads() noexcept {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+thread_local const thread_pool* thread_pool::worker_of_ = nullptr;
+
 void thread_pool::worker_loop() {
+  worker_of_ = this;
   for (;;) {
     std::function<void()> job;
     {
@@ -51,6 +54,15 @@ void thread_pool::worker_loop() {
 void thread_pool::parallel_for_each(
     std::size_t count, const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+
+  // Re-entrant use: this thread is one of our own workers, so it must not
+  // block on the queue — with all workers inside outer bodies nobody would
+  // ever drain it. Run the whole loop inline instead (exceptions propagate
+  // directly to the outer body).
+  if (worker_of_ == this) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
 
   // Shared loop state for this call. Workers pull indices from `next`; the
   // first exception parks `next` past the end so no new work starts.

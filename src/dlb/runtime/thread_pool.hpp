@@ -39,13 +39,23 @@ class thread_pool {
   /// Runs body(i) for every i in [0, count), distributing indices over the
   /// workers, and blocks until all have finished. If any invocation throws,
   /// no further indices are started and the first captured exception is
-  /// rethrown here after the in-flight ones drain. Reentrant calls from
-  /// inside a body are not supported (they would deadlock a 1-thread pool).
+  /// rethrown here after the in-flight ones drain.
+  ///
+  /// Re-entrant calls — a body running on a pool worker calling back into
+  /// the same pool — execute all indices inline on the calling worker
+  /// instead of enqueuing. Enqueuing would deadlock: with every worker
+  /// occupied by an outer body, the nested call's slices would wait for the
+  /// very threads blocked on them. Nested calls therefore serialize; for
+  /// genuine nested parallelism use a separate pool (as sharded cells do).
   void parallel_for_each(std::size_t count,
                          const std::function<void(std::size_t)>& body);
 
  private:
   void worker_loop();
+
+  /// The pool the current thread is a worker of (nullptr off-pool); lets
+  /// parallel_for_each detect re-entrant use.
+  static thread_local const thread_pool* worker_of_;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

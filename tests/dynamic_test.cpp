@@ -47,6 +47,35 @@ TEST(ArrivalScheduleTest, UniformArrivalsDeterministicAndTotalled) {
   }
 }
 
+// The sparse accumulation (sort the O(per_round) draws, merge runs) must
+// emit exactly what the old dense O(n) counts walk emitted: ascending nodes,
+// aggregated counts — the wire format every recorded grid row depends on.
+TEST(ArrivalScheduleTest, SparseAccumulationMatchesDenseReference) {
+  const node_id n = 50;
+  const weight_t per_round = 120;  // heavy collisions force aggregation
+  workload::uniform_arrivals sched(n, per_round, /*seed=*/17);
+  for (round_t t = 0; t < 20; ++t) {
+    // Dense reference, drawing from the same (seed, t) stream.
+    rng_t rng = make_rng(17, static_cast<std::uint64_t>(t) ^ 0xA221u);
+    std::vector<weight_t> counts(static_cast<size_t>(n), 0);
+    for (weight_t k = 0; k < per_round; ++k) {
+      ++counts[static_cast<size_t>(uniform_int<node_id>(rng, 0, n - 1))];
+    }
+    std::vector<workload::arrival> expected;
+    for (node_id i = 0; i < n; ++i) {
+      if (counts[static_cast<size_t>(i)] > 0) {
+        expected.push_back({i, counts[static_cast<size_t>(i)]});
+      }
+    }
+    const auto got = sched.arrivals(t);
+    ASSERT_EQ(got.size(), expected.size()) << "round " << t;
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k].node, expected[k].node);
+      EXPECT_EQ(got[k].count, expected[k].count);
+    }
+  }
+}
+
 TEST(ArrivalScheduleTest, BurstFiresOnPeriod) {
   workload::burst_arrivals sched(/*target=*/2, /*burst=*/50, /*period=*/10);
   EXPECT_EQ(sched.arrivals(0).size(), 1u);

@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "dlb/common/contracts.hpp"
@@ -83,6 +87,84 @@ TEST(ThreadPoolTest, UsableAgainAfterException) {
     sum += static_cast<int>(i);
   });
   EXPECT_EQ(sum.load(), 45);
+}
+
+/// Aborts the whole binary if the guarded section doesn't finish in time —
+/// turns a deadlock regression into a fast, attributable crash instead of a
+/// ctest hang (no thread can be unstuck once the pool deadlocks, so failing
+/// "gracefully" isn't an option).
+class watchdog {
+ public:
+  explicit watchdog(std::chrono::seconds limit)
+      : thread_([this, limit] {
+          const auto deadline = std::chrono::steady_clock::now() + limit;
+          while (!done_.load()) {
+            if (std::chrono::steady_clock::now() >= deadline) {
+              std::fprintf(stderr,
+                           "watchdog: parallel_for_each deadlocked\n");
+              std::abort();
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+        }) {}
+  ~watchdog() {
+    done_ = true;
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
+// Regression: a body running on a pool worker that calls parallel_for_each
+// on the *same* pool used to enqueue slices and block on their completion —
+// with every worker occupied by outer bodies, nobody was left to drain the
+// queue. Re-entrant calls must run inline instead. Exercised at both pool
+// sizes that historically deadlocked (1 worker: the only worker blocks on
+// itself; N workers: all block on each other).
+TEST(ThreadPoolTest, ReentrantCallFromWorkerRunsInline) {
+  for (const unsigned threads : {1u, 4u}) {
+    const watchdog guard(std::chrono::seconds(60));
+    thread_pool pool(threads);
+    std::atomic<int> inner_runs{0};
+    pool.parallel_for_each(8, [&](std::size_t) {
+      pool.parallel_for_each(16, [&](std::size_t) { ++inner_runs; });
+    });
+    EXPECT_EQ(inner_runs.load(), 8 * 16) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ReentrantCallPropagatesExceptions) {
+  const watchdog guard(std::chrono::seconds(60));
+  thread_pool pool(2);
+  EXPECT_THROW(pool.parallel_for_each(4,
+                                      [&](std::size_t) {
+                                        pool.parallel_for_each(
+                                            4, [](std::size_t i) {
+                                              if (i == 2) {
+                                                throw std::runtime_error("x");
+                                              }
+                                            });
+                                      }),
+               std::runtime_error);
+  // The pool must stay usable afterwards.
+  std::atomic<int> sum{0};
+  pool.parallel_for_each(5, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+// Nested use across *different* pools (the sharded-cell shape: cell pool
+// worker driving a shard pool) must stay fully parallel-capable.
+TEST(ThreadPoolTest, CrossPoolNestingCoversAllIndices) {
+  const watchdog guard(std::chrono::seconds(60));
+  thread_pool cells(2);
+  thread_pool shards(2);
+  std::atomic<int> total{0};
+  cells.parallel_for_each(6, [&](std::size_t) {
+    shards.parallel_for_each(10, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 60);
 }
 
 TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
