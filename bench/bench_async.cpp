@@ -1,0 +1,23 @@
+// Event-driven extension (dlb::events): arrival streams and balancing
+// rounds interleaved on a virtual clock instead of lock-step injection.
+//
+// Two grids: `async-poisson` (a seeded Poisson token stream firing at
+// real-valued times between rounds) and `async-service` (the open model —
+// Poisson arrivals plus Poisson service completions; tokens are served and
+// leave). Shapes to check: the flow imitators' steady band matches the
+// lock-step `dynamic-uniform` band at the same average rate (arrivals
+// inside one round interval commute), and in the service grid the
+// queue-depth percentiles (`extra.depth_p50/p90/p99`) sit near the M/M/1-ish
+// backlog implied by arrival_rate/service_rate. Same experiments:
+// `dlb_run --grid async-poisson,async-service --table`.
+#include "bench_common.hpp"
+
+int main() {
+  dlb::runtime::grid_options opts;
+  opts.dynamic_rounds = 600;
+  opts.arrival_rate = 10.0;
+  opts.service_rate = 6.0;
+  return dlb::bench::run_grid_bench("async", /*master_seed=*/29,
+                                    {{"async-poisson", opts},
+                                     {"async-service", opts}});
+}

@@ -17,15 +17,21 @@
 //   --spike-per-node   initial spike weight per node (default 50)
 //   --dynamic-rounds / --arrivals-per-round   dynamic grids only
 //   --burst-size / --burst-period             dynamic-bursts only
-//   --out         also write JSON (with real wall_ns timing) to this file
+//   --arrival-rate / --service-rate   async (event-driven) grids: Poisson
+//                 arrivals / service completions per unit of virtual time
+//   --trace       async grids: replay `(time, node, count)` events from
+//                 this file as an extra source
+//   --format      stdout/--out serialization: json (default) or csv —
+//                 same row schema, same determinism guarantees
+//   --out         also write results (with real wall_ns timing) to this file
 //   --table       render each grid's ascii pivot to stderr; the shape is
 //                 per-grid (discrepancy, steady-state mean, balancing time,
 //                 or the study grids' extra-metric columns)
 //
-// stdout carries the results as a JSON array with wall_ns masked to 0, so
-// the bytes are identical for any --threads value: grid cells derive their
-// RNG streams from (master seed, cell index), never from scheduling. Use
-// --out for the timing-bearing variant.
+// stdout carries the results (JSON array by default, CSV with --format csv)
+// with wall_ns masked to 0, so the bytes are identical for any --threads
+// value: grid cells derive their RNG streams from (master seed, cell index),
+// never from scheduling. Use --out for the timing-bearing variant.
 #include <fstream>
 #include <iostream>
 #include <iterator>
@@ -76,6 +82,9 @@ int main(int argc, char** argv) {
         args.get_int("arrivals-per-round", opts.arrivals_per_round);
     opts.burst_size = args.get_int("burst-size", opts.burst_size);
     opts.burst_period = args.get_int("burst-period", opts.burst_period);
+    opts.arrival_rate = args.get_real("arrival-rate", opts.arrival_rate);
+    opts.service_rate = args.get_real("service-rate", opts.service_rate);
+    opts.trace_path = args.get("trace", opts.trace_path);
     opts.shard_threads = static_cast<unsigned>(
         args.get_int("shard-threads", opts.shard_threads));
     const auto master_seed =
@@ -83,6 +92,8 @@ int main(int argc, char** argv) {
     const auto threads = static_cast<unsigned>(args.get_int(
         "threads", runtime::thread_pool::default_threads()));
     const std::string out_path = args.get("out", "");
+    const runtime::sink_format format =
+        runtime::parse_format(args.get("format", "json"));
     const bool want_table = args.has("table");
 
     for (const std::string& key : args.unused_keys()) {
@@ -117,14 +128,14 @@ int main(int argc, char** argv) {
                       std::make_move_iterator(rows.end()));
     }
 
-    runtime::write_json(std::cout, all_rows, runtime::timing::exclude);
+    runtime::write_rows(std::cout, all_rows, format, runtime::timing::exclude);
     if (!out_path.empty()) {
       std::ofstream out(out_path);
       if (!out) {
         std::cerr << "cannot open " << out_path << "\n";
         return 1;
       }
-      runtime::write_json(out, all_rows, runtime::timing::include);
+      runtime::write_rows(out, all_rows, format, runtime::timing::include);
       std::cerr << "wrote " << all_rows.size() << " rows to " << out_path
                 << "\n";
     }

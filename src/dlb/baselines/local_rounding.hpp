@@ -23,6 +23,7 @@
 // for reporting.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -66,6 +67,15 @@ class local_rounding_process final : public discrete_process {
   void inject_tokens(node_id i, weight_t count) override {
     DLB_EXPECTS(i >= 0 && i < g_->num_nodes() && count >= 0);
     loads_[static_cast<size_t>(i)] += count;
+  }
+  /// Departures just subtract load (never below zero — an empty node is an
+  /// idle server); the baselines have no continuous copy to mirror into.
+  weight_t drain_tokens(node_id i, weight_t count) override {
+    DLB_EXPECTS(i >= 0 && i < g_->num_nodes() && count >= 0);
+    const weight_t drained =
+        std::min(count, std::max<weight_t>(loads_[static_cast<size_t>(i)], 0));
+    loads_[static_cast<size_t>(i)] -= drained;
+    return drained;
   }
   [[nodiscard]] std::string name() const override;
 

@@ -52,6 +52,14 @@ void algorithm1::inject_task(node_id i, weight_t w) {
   process_->inject_load(i, static_cast<real_t>(w));
 }
 
+weight_t algorithm1::drain_tokens(node_id i, weight_t count) {
+  DLB_EXPECTS(count >= 0);
+  const weight_t drained = tasks_.pool(i).drain_real_units(count);
+  loads_[static_cast<size_t>(i)] -= drained;
+  process_->inject_load(i, -static_cast<real_t>(drained));
+  return drained;
+}
+
 // Phase 1 (per edge): flow deficit ŷ_{u,v}(t) = f^A(t) - f^D(t-1), oriented
 // u→v, with near-integer values snapped to kill float dust. Also resets the
 // edge's transfer set and last-sent record for this round. Reads only

@@ -78,6 +78,11 @@ class algorithm1 final : public discrete_process, public shardable {
   /// Weighted arrival variant: one task of weight `w`.
   void inject_task(node_id i, weight_t w);
 
+  /// Departures: up to `count` real unit tasks on node i complete and leave,
+  /// mirrored into the continuous process as negative load (additivity works
+  /// in both directions, so the imitation stays valid).
+  weight_t drain_tokens(node_id i, weight_t count) override;
+
   /// The internally simulated continuous process A (read-only).
   [[nodiscard]] const continuous_process& continuous() const {
     return *process_;

@@ -1,5 +1,6 @@
 #include "dlb/core/algorithm2.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -54,6 +55,17 @@ void algorithm2::inject_tokens(node_id i, weight_t count) {
   DLB_EXPECTS(count >= 0);
   loads_[static_cast<size_t>(i)] += count;
   process_->inject_load(i, static_cast<real_t>(count));
+}
+
+weight_t algorithm2::drain_tokens(node_id i, weight_t count) {
+  DLB_EXPECTS(i >= 0 && i < topology().num_nodes());
+  DLB_EXPECTS(count >= 0);
+  // Only real tokens complete; the dummies residing on i stay in circulation.
+  const std::size_t idx = static_cast<size_t>(i);
+  const weight_t drained = std::min(count, loads_[idx] - dummies_[idx]);
+  loads_[idx] -= drained;
+  process_->inject_load(i, -static_cast<real_t>(drained));
+  return drained;
 }
 
 void algorithm2::step() {

@@ -54,6 +54,10 @@ class algorithm2 final : public discrete_process {
   /// internal continuous process.
   void inject_tokens(node_id i, weight_t count) override;
 
+  /// Departures: up to `count` real tokens on node i complete and leave,
+  /// mirrored into the continuous process as negative load.
+  weight_t drain_tokens(node_id i, weight_t count) override;
+
   [[nodiscard]] const continuous_process& continuous() const {
     return *process_;
   }

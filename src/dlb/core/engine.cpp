@@ -8,13 +8,6 @@
 
 namespace dlb {
 
-namespace {
-
-/// Per-round max-min discrepancy of the real loads. Uses the parallel
-/// per-shard min/max reduction when `d` steps sharded — the sequential
-/// real_loads() path materializes an O(n) vector per round, which would
-/// serialize exactly the huge-graph cells sharding exists for. The two paths
-/// are exactly equal (min/max folds are associative).
 real_t round_discrepancy(const discrete_process& d) {
   if (const auto* sh = dynamic_cast<const shardable*>(&d);
       sh != nullptr && sh->sharding() != nullptr) {
@@ -22,8 +15,6 @@ real_t round_discrepancy(const discrete_process& d) {
   }
   return max_min_discrepancy(d.real_loads(), d.speeds());
 }
-
-}  // namespace
 
 bool is_balanced(const continuous_process& a, real_t tol) {
   const std::vector<real_t>& x = a.loads();

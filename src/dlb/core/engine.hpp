@@ -30,6 +30,13 @@ struct balancing_time_result {
 /// True iff every node of `a` is within `tol` of its balanced share.
 [[nodiscard]] bool is_balanced(const continuous_process& a, real_t tol = 1.0);
 
+/// Max-min discrepancy of `d`'s current real loads. Uses the parallel
+/// per-shard min/max reduction when `d` steps sharded (the sequential
+/// real_loads() path materializes an O(n) vector per round); the two paths
+/// are exactly equal — min/max folds are associative. Both run_dynamic and
+/// the event-driven run_async sample their per-round metrics through this.
+[[nodiscard]] real_t round_discrepancy(const discrete_process& d);
+
 /// Per-round observation hook; `d` has just completed round `t` (1-based
 /// count of executed rounds).
 using round_observer = std::function<void(round_t t, const discrete_process& d)>;

@@ -216,7 +216,8 @@ std::unique_ptr<continuous_process> linear_process::clone_fresh() const {
 void linear_process::inject_load(node_id i, real_t amount) {
   DLB_EXPECTS(started_);
   DLB_EXPECTS(i >= 0 && i < g_->num_nodes());
-  DLB_EXPECTS(amount >= 0);
+  // Negative amounts are departures mirrored by the discrete imitators; the
+  // linear recurrence is additive in both signs, so no floor is enforced.
   x_[static_cast<size_t>(i)] += amount;
 }
 

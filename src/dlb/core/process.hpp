@@ -93,10 +93,12 @@ class continuous_process {
   [[nodiscard]] virtual std::unique_ptr<continuous_process> clone_fresh()
       const = 0;
 
-  /// Adds `amount` >= 0 load to node i mid-run (dynamic arrivals). By
-  /// additivity (Definition 3) the process keeps balancing the enlarged
-  /// load; flow-imitating discretizers inject into their internal
-  /// continuous copy through this hook.
+  /// Adds `amount` load to node i mid-run (dynamic arrivals). By additivity
+  /// (Definition 3) the process keeps balancing the enlarged load;
+  /// flow-imitating discretizers inject into their internal continuous copy
+  /// through this hook. `amount` may be negative — that is how departures
+  /// (service completions) are mirrored; the load may then transiently dip
+  /// below a node's balanced share, which additivity also absorbs.
   virtual void inject_load(node_id i, real_t amount) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
@@ -130,6 +132,19 @@ class discrete_process {
   /// arrivals). Flow imitators mirror the arrival into their internal
   /// continuous process so the imitation target stays consistent.
   virtual void inject_tokens(node_id i, weight_t count) = 0;
+
+  /// Removes up to `count` real unit tasks from node i (service
+  /// completions / departures in the event-driven engine). Returns the
+  /// number actually removed — fewer when the node holds less than `count`
+  /// units of real load (an idle server). Flow imitators mirror the removal
+  /// into their continuous copy (negative inject_load), keeping the
+  /// imitation additive in both directions. The default declines: processes
+  /// without departure support return 0 and remain untouched.
+  virtual weight_t drain_tokens(node_id i, weight_t count) {
+    (void)i;
+    (void)count;
+    return 0;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

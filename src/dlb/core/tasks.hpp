@@ -84,6 +84,23 @@ class task_pool {
     return {w, false, origin};
   }
 
+  /// Removes up to `count` unit-weight real tasks (service completions;
+  /// dummies never leave through service). Pops from the back — the same
+  /// LIFO end remove_arbitrary uses — and stops early at a task of weight
+  /// > 1 (weighted tasks do not complete in unit quanta) or when the pool
+  /// runs out of real tasks. Returns the number of units removed.
+  weight_t drain_real_units(weight_t count) {
+    DLB_EXPECTS(count >= 0);
+    weight_t drained = 0;
+    while (drained < count && !real_.empty() && real_.back() == 1) {
+      real_.pop_back();
+      origins_.pop_back();
+      --total_;
+      ++drained;
+    }
+    return drained;
+  }
+
   /// Weights of the real tasks currently in the pool (unordered multiset
   /// view; exposed for tests and examples).
   [[nodiscard]] const std::vector<weight_t>& real_task_weights() const {

@@ -8,6 +8,8 @@
 #include "dlb/common/rng.hpp"
 #include "dlb/core/engine.hpp"
 #include "dlb/core/sharding.hpp"
+#include "dlb/events/async_driver.hpp"
+#include "dlb/events/event_source.hpp"
 #include "dlb/graph/spectral.hpp"
 #include "dlb/runtime/wall_timer.hpp"
 #include "dlb/workload/arrival.hpp"
@@ -25,6 +27,33 @@ struct shard_rig {
   std::unique_ptr<thread_pool> pool;
   std::shared_ptr<const shard_context> ctx;
 };
+
+/// Builds one cell's trace source (from the grid-level pre-parsed events
+/// when available, else straight from the file) and validates it against
+/// this cell's scenario: no service events on grids without a service model
+/// (mixed drain support would corrupt the cross-process comparison), and
+/// every node id in range — a bad trace must fail here with the file named,
+/// not cells later inside a worker's inject_tokens precondition.
+std::unique_ptr<events::trace_source> make_cell_trace(const grid_spec& spec,
+                                                      node_id n) {
+  // Copying the prototype is O(1): the parsed events are shared and the
+  // service/max-node summaries below are cached at parse time.
+  auto trace = spec.trace_proto != nullptr
+                   ? std::make_unique<events::trace_source>(*spec.trace_proto)
+                   : events::load_trace(spec.trace_path);
+  if (spec.service_rate <= 0 && trace->has_service_events()) {
+    throw contract_violation(
+        "trace " + spec.trace_path + " carries service events, but grid " +
+        spec.name + " has no service model (use async-service)");
+  }
+  if (trace->max_node() >= n) {
+    throw contract_violation(
+        "trace " + spec.trace_path + " names node " +
+        std::to_string(trace->max_node()) + ", but scenario has only " +
+        std::to_string(n) + " nodes");
+  }
+  return trace;
+}
 
 shard_rig make_shard_rig(const graph& g, unsigned shard_threads) {
   shard_rig rig;
@@ -47,16 +76,36 @@ std::vector<grid_cell> expand_grid(const grid_spec& spec,
   DLB_EXPECTS(spec.repeats >= 1);
   DLB_EXPECTS(!spec.graphs.empty());
   DLB_EXPECTS(!spec.processes.empty());
-  if (spec.kind == grid_kind::dynamic_arrivals) {
+  if (spec.kind != grid_kind::static_balancing) {
     DLB_EXPECTS(spec.dynamic_rounds >= 1);
   }
 
+  // n × expected rounds; a static cell's T^A is unknown before it runs, so
+  // its expected rounds collapse to 1 and graph size carries the ordering.
+  const std::uint64_t expected_rounds =
+      spec.kind == grid_kind::static_balancing
+          ? 1
+          : static_cast<std::uint64_t>(spec.dynamic_rounds);
+  // Far outside the cell-index stream (cells use 0, 1, 2, ...) and distinct
+  // from graph_seed_stream in grids.cpp.
+  constexpr std::uint64_t traffic_stream = 0x74726166666963ULL;  // "traffic"
+  const std::uint64_t traffic_root = derive_seed(master_seed, traffic_stream);
   std::vector<grid_cell> cells;
   std::uint64_t index = 0;
   const auto push = [&](std::size_t g, std::size_t p) {
     const int reps = spec.processes[p].randomized ? spec.repeats : 1;
+    const std::uint64_t cost =
+        static_cast<std::uint64_t>(spec.graphs[g].g->num_nodes()) *
+        expected_rounds;
     for (int r = 0; r < reps; ++r) {
-      cells.push_back({index, g, p, r, derive_seed(master_seed, index)});
+      // Competitor-independent: (graph, repetition) only, so rows compared
+      // in one pivot column share their event streams.
+      const std::uint64_t traffic = derive_seed(
+          traffic_root,
+          static_cast<std::uint64_t>(g) * 0x10000ULL +
+              static_cast<std::uint64_t>(r));
+      cells.push_back(
+          {index, g, p, r, derive_seed(master_seed, index), traffic, cost});
       ++index;
     }
   };
@@ -123,6 +172,44 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
     row.final_max_min = r.final_max_min;
     row.final_max_avg = r.final_max_avg;
     row.dummy_created = r.dummy_created;
+  } else if (spec.kind == grid_kind::async_events) {
+    // Traffic streams derive from the competitor-independent traffic_seed
+    // (sub-stream 0 = arrivals, 1 = service): every competitor row of one
+    // scenario/repetition faces the identical event stream, and traffic
+    // stays decorrelated from the process's internal randomness (cell.seed).
+    std::vector<std::unique_ptr<events::event_source>> sources;
+    DLB_EXPECTS(spec.arrival_rate > 0);
+    sources.push_back(std::make_unique<events::poisson_source>(
+        n, spec.arrival_rate, derive_seed(cell.traffic_seed, 0),
+        events::event_kind::arrival));
+    if (spec.service_rate > 0) {
+      sources.push_back(std::make_unique<events::poisson_source>(
+          n, spec.service_rate, derive_seed(cell.traffic_seed, 1),
+          events::event_kind::service));
+    }
+    if (!spec.trace_path.empty()) {
+      sources.push_back(make_cell_trace(spec, n));
+    }
+    const events::async_result r = timed([&] {
+      return events::run_async(*d, std::move(sources),
+                               {.rounds = spec.dynamic_rounds});
+    });
+    row.rounds = r.rounds;
+    row.converged = false;  // no T^A gate exists for event-driven runs
+    row.final_max_min = r.final_max_min;
+    row.mean_max_min = r.mean_max_min;
+    row.peak_max_min = r.peak_max_min;
+    row.dummy_created = d->dummy_created();
+    row.extra.push_back({"arrived", static_cast<real_t>(r.total_arrived)});
+    row.extra.push_back({"served", static_cast<real_t>(r.tokens_served)});
+    row.extra.push_back(
+        {"service_attempts", static_cast<real_t>(r.service_attempts)});
+    // time_weighted_mean_max_min is deliberately not a column: at unit round
+    // spacing it equals mean_max_min exactly (async_driver.hpp).
+    row.extra.push_back({"depth_p50", static_cast<real_t>(r.depth_p50)});
+    row.extra.push_back({"depth_p90", static_cast<real_t>(r.depth_p90)});
+    row.extra.push_back({"depth_p99", static_cast<real_t>(r.depth_p99)});
+    row.extra.push_back({"depth_max", static_cast<real_t>(r.depth_max)});
   } else {
     // Arrivals get their own stream off the cell seed so the process's
     // internal randomness and the arrival pattern stay decorrelated.
@@ -172,10 +259,33 @@ analysis::ascii_table render_view(const grid_spec& spec,
 std::vector<result_row> run_grid(const grid_spec& spec,
                                  std::uint64_t master_seed,
                                  thread_pool& pool) {
-  const std::vector<grid_cell> cells = expand_grid(spec, master_seed);
+  // Parse a trace file once up front instead of per cell — the cells take
+  // O(1) copies of the prototype. Validation against each scenario's node
+  // count still happens per cell (grids mix graph families whose n differs).
+  const grid_spec* active = &spec;
+  grid_spec with_trace;
+  if (spec.kind == grid_kind::async_events && !spec.trace_path.empty() &&
+      spec.trace_proto == nullptr) {
+    with_trace = spec;
+    with_trace.trace_proto = std::shared_ptr<const events::trace_source>(
+        events::load_trace(spec.trace_path));
+    active = &with_trace;
+  }
+  const std::vector<grid_cell> cells = expand_grid(*active, master_seed);
+  // Longest-first submission: the pool hands out indices in order, so
+  // sorting by descending cost estimate keeps the most expensive cells from
+  // landing last and stretching the tail. Ties (and static grids, whose
+  // estimate is just n) fall back to cell order; rows are re-sorted by cell
+  // index afterwards, so this is invisible in the output.
+  std::vector<std::size_t> order(cells.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cells[a].cost_estimate > cells[b].cost_estimate;
+                   });
   result_sink sink;
   pool.parallel_for_each(cells.size(), [&](std::size_t i) {
-    sink.add(run_cell(spec, cells[i]));
+    sink.add(run_cell(*active, cells[order[i]]));
   });
   DLB_ENSURES(sink.size() == cells.size());
   return sink.take_rows();

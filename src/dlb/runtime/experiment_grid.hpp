@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,12 +22,17 @@
 #include "dlb/workload/competitors.hpp"
 #include "dlb/workload/scenario.hpp"
 
+namespace dlb::events {
+class trace_source;
+}
+
 namespace dlb::runtime {
 
 /// How a cell is driven through the engine.
 enum class grid_kind {
   static_balancing,  ///< run_experiment to the continuous balancing time
   dynamic_arrivals,  ///< run_dynamic with a seeded arrival schedule
+  async_events,      ///< events::run_async with seeded event sources
 };
 
 /// Arrival schedule shape for dynamic_arrivals grids.
@@ -93,11 +99,26 @@ struct grid_spec {
 
   // dynamic_arrivals only:
   arrival_pattern arrivals = arrival_pattern::uniform;
-  round_t dynamic_rounds = 0;        ///< total rounds to simulate
+  round_t dynamic_rounds = 0;        ///< total rounds to simulate (also the
+                                     ///< async virtual-time horizon)
   weight_t arrivals_per_round = 0;   ///< uniform arrival rate
   node_id burst_target = 0;          ///< bursts: hotspot node
   weight_t burst_size = 0;           ///< bursts: tokens per burst
   round_t burst_period = 0;          ///< bursts: rounds between bursts
+
+  // async_events only (events::run_async over dynamic_rounds rounds):
+  real_t arrival_rate = 0;  ///< Poisson arrivals per unit of virtual time
+                            ///< (whole network, uniform over nodes)
+  real_t service_rate = 0;  ///< Poisson service completions per unit time
+                            ///< (whole network; 0 = no departures)
+  std::string trace_path;   ///< replay `(time, node, count)` events from
+                            ///< this file as an extra source (empty = none)
+  /// Pre-parsed trace prototype. run_grid fills this once from trace_path
+  /// before fanning out; each cell then takes an O(1) copy (the parsed
+  /// events are immutable and shared) instead of re-opening and re-parsing
+  /// the file. run_cell falls back to loading from trace_path when unset
+  /// (direct single-cell callers).
+  std::shared_ptr<const events::trace_source> trace_proto;
 };
 
 /// One expanded cell. `index` is the position in deterministic enumeration
@@ -109,6 +130,18 @@ struct grid_cell {
   std::size_t process_index = 0;
   int repetition = 0;
   std::uint64_t seed = 0;  ///< derive_seed(master, index)
+  /// Traffic seed for async grids: derived from (master, graph, repetition)
+  /// but *not* from the competitor, so every competitor row of one scenario
+  /// and repetition faces the identical arrival/service event stream —
+  /// otherwise the mean-discrepancy pivot would partly rank traffic luck.
+  /// (Process-internal randomness still comes from `seed`.)
+  std::uint64_t traffic_seed = 0;
+  /// Cheap relative cost estimate: n × expected rounds (dynamic_rounds for
+  /// the dynamic/async kinds, 1 for static grids whose T^A is unknown a
+  /// priori). Only the ordering matters: run_grid submits cells
+  /// longest-first so a wide pool is not left waiting on one huge cell that
+  /// started last (grid-level scheduling).
+  std::uint64_t cost_estimate = 0;
 };
 
 /// Expands a spec into its cell list. Pure and deterministic.
@@ -121,8 +154,10 @@ struct grid_cell {
                                   const grid_cell& cell);
 
 /// Expands and executes a whole grid on `pool`, returning rows in canonical
-/// cell order. Bit-identical output for any pool size given the same
-/// (spec, master_seed) — apart from the wall_ns timing field.
+/// cell order. Cells are submitted longest-first by `cost_estimate` (cutting
+/// tail latency on wide pools); the submission order is pure scheduling —
+/// rows are re-sorted into cell order, so output stays bit-identical for any
+/// pool size given the same (spec, master_seed) — apart from wall_ns.
 [[nodiscard]] std::vector<result_row> run_grid(const grid_spec& spec,
                                                std::uint64_t master_seed,
                                                thread_pool& pool);

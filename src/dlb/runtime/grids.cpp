@@ -161,6 +161,45 @@ grid_spec dynamic_bursts_grid(const grid_options& opts,
   return spec;
 }
 
+// ------------------------------------------------------------ async grids
+
+// Event-driven arrivals (dlb::events): a seeded Poisson token stream fires
+// at real-valued virtual times between balancing rounds instead of lock-step
+// at round starts — the Berenbrink et al. dynamic-averaging regime. With
+// `--trace FILE` an additional recorded `(time, node, count)` stream is
+// replayed alongside the Poisson source.
+grid_spec async_poisson_grid(const grid_options& opts, std::uint64_t master) {
+  grid_spec spec = base_spec(opts, master, workload::model::diffusion,
+                             /*diffusion_competitors=*/true);
+  spec.kind = grid_kind::async_events;
+  spec.view = table_view::mean_discrepancy;
+  spec.dynamic_rounds = opts.dynamic_rounds;
+  spec.arrival_rate = opts.arrival_rate;
+  spec.trace_path = opts.trace_path;
+  spec.shard_threads = opts.shard_threads;
+  return spec;
+}
+
+// Open service model: Poisson arrivals plus Poisson service completions —
+// tokens are served and *leave* (discrete_process::drain_tokens, mirrored
+// into the continuous copy as negative load). Restricted to the competitors
+// that support departures; with arrival_rate > service_rate the backlog
+// grows, with the reverse the system drains toward idle servers.
+grid_spec async_service_grid(const grid_options& opts, std::uint64_t master) {
+  grid_spec spec = base_spec(opts, master, workload::model::diffusion,
+                             /*diffusion_competitors=*/true);
+  spec.processes = workload::competitor_subset(
+      /*diffusion_model=*/true, {"round-down", "quasirandom", "Alg1", "Alg2"});
+  spec.kind = grid_kind::async_events;
+  spec.view = table_view::mean_discrepancy;
+  spec.dynamic_rounds = opts.dynamic_rounds;
+  spec.arrival_rate = opts.arrival_rate;
+  spec.service_rate = opts.service_rate;
+  spec.trace_path = opts.trace_path;
+  spec.shard_threads = opts.shard_threads;
+  return spec;
+}
+
 // ---------------------------------------------------------- scaling grids
 
 // Figure A: final discrepancy vs network size n, per graph family. The
@@ -936,6 +975,14 @@ constexpr grid_entry registry[] = {
      "Huge-graph stream: ring/torus/hypercube stepped shard-parallel "
      "(--shard-threads)",
      huge_uniform_grid},
+    {"async-poisson",
+     "Event-driven arrivals: seeded Poisson stream interleaved with rounds "
+     "(--arrival-rate)",
+     async_poisson_grid},
+    {"async-service",
+     "Event-driven open service model: Poisson arrivals + departures "
+     "(--service-rate)",
+     async_service_grid},
 };
 
 }  // namespace

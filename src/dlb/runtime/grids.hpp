@@ -39,8 +39,18 @@ struct grid_options {
   weight_t burst_size = 500;
   /// dynamic-bursts: rounds between bursts (`--burst-period`).
   round_t burst_period = 100;
-  /// Threads stepping a single graph's shards (`--shard-threads`); only the
-  /// huge-graph grids consume it. Rows are byte-identical for any value.
+  /// async grids: Poisson arrivals per unit of virtual time over the whole
+  /// network (`--arrival-rate`).
+  real_t arrival_rate = 8.0;
+  /// async-service: Poisson service completions per unit time over the
+  /// whole network (`--service-rate`).
+  real_t service_rate = 6.0;
+  /// async grids: optional `(time, node, count)` trace file replayed as an
+  /// extra event source (`--trace`).
+  std::string trace_path;
+  /// Threads stepping a single graph's shards (`--shard-threads`); the
+  /// huge-graph and async grids consume it. Rows are byte-identical for
+  /// any value.
   unsigned shard_threads = 1;
 };
 

@@ -332,6 +332,197 @@ std::vector<analysis::pivot_cell> extras_cells(
   return cells;
 }
 
+// ----------------------------------------------------------- CSV backend
+
+namespace {
+
+constexpr std::string_view csv_header =
+    "cell,grid,scenario,process,model,n,seed,rounds,converged,final_max_min,"
+    "final_max_avg,mean_max_min,peak_max_min,dummy_created,extra,wall_ns";
+
+/// RFC-4180 quoting: a field is quoted iff it contains a comma, quote, or
+/// line break; embedded quotes are doubled.
+void append_csv_field(std::string& out, std::string_view field) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+std::string csv_extra_field(const std::vector<extra_metric>& extra) {
+  std::string out;
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    DLB_EXPECTS(extra[i].key.find(';') == std::string::npos);
+    if (i > 0) out += ';';
+    out += extra[i].key;
+    out += '=';
+    append_real(out, extra[i].value);
+  }
+  return out;
+}
+
+/// Splits one CSV record into fields starting at `pos`; advances `pos` past
+/// the record's line terminator. Quoted fields may contain any byte,
+/// including line breaks.
+std::vector<std::string> next_csv_record(std::string_view text,
+                                         std::size_t& pos) {
+  std::vector<std::string> fields(1);
+  bool quoted = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (quoted) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          fields.back() += '"';
+          ++pos;
+        } else {
+          quoted = false;
+        }
+      } else {
+        fields.back() += c;
+      }
+      ++pos;
+      continue;
+    }
+    if (c == '"' && fields.back().empty()) {
+      quoted = true;
+      ++pos;
+    } else if (c == ',') {
+      fields.emplace_back();
+      ++pos;
+    } else if (c == '\n' || c == '\r') {
+      while (pos < text.size() && (text[pos] == '\n' || text[pos] == '\r')) {
+        ++pos;
+      }
+      return fields;
+    } else {
+      fields.back() += c;
+      ++pos;
+    }
+  }
+  DLB_EXPECTS(!quoted);  // unterminated quoted field
+  return fields;
+}
+
+std::vector<extra_metric> parse_csv_extras(std::string_view field) {
+  std::vector<extra_metric> extras;
+  std::size_t start = 0;
+  while (start < field.size()) {
+    std::size_t end = field.find(';', start);
+    if (end == std::string_view::npos) end = field.size();
+    const std::string_view pair = field.substr(start, end - start);
+    // Keys may contain '=' (the convergence checkpoints "t/T=0.1"); the
+    // value is a bare real, so the split point is the *last* '='.
+    const std::size_t eq = pair.rfind('=');
+    DLB_EXPECTS(eq != std::string_view::npos && eq > 0);
+    extras.push_back(
+        {std::string(pair.substr(0, eq)), to_real(pair.substr(eq + 1))});
+    start = end + 1;
+  }
+  return extras;
+}
+
+}  // namespace
+
+sink_format parse_format(const std::string& name) {
+  if (name == "json") return sink_format::json;
+  if (name == "csv") return sink_format::csv;
+  throw contract_violation("unknown result format: " + name +
+                           " (expected json or csv)");
+}
+
+void write_csv(std::ostream& os, const std::vector<result_row>& rows,
+               timing t) {
+  os << csv_header << '\n';
+  std::string line;
+  for (const result_row& row : rows) {
+    line.clear();
+    append_int(line, row.cell);
+    line += ',';
+    append_csv_field(line, row.grid);
+    line += ',';
+    append_csv_field(line, row.scenario);
+    line += ',';
+    append_csv_field(line, row.process);
+    line += ',';
+    append_csv_field(line, row.model);
+    line += ',';
+    append_int(line, row.n);
+    line += ',';
+    append_int(line, row.seed);
+    line += ',';
+    append_int(line, row.rounds);
+    line += ',';
+    line += row.converged ? "true" : "false";
+    line += ',';
+    append_real(line, row.final_max_min);
+    line += ',';
+    append_real(line, row.final_max_avg);
+    line += ',';
+    append_real(line, row.mean_max_min);
+    line += ',';
+    append_real(line, row.peak_max_min);
+    line += ',';
+    append_int(line, row.dummy_created);
+    line += ',';
+    append_csv_field(line, csv_extra_field(row.extra));
+    line += ',';
+    append_int(line, t == timing::include ? row.wall_ns : 0);
+    os << line << '\n';
+  }
+}
+
+std::vector<result_row> parse_csv(std::string_view text) {
+  std::size_t pos = 0;
+  const std::vector<std::string> header = next_csv_record(text, pos);
+  std::string joined;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) joined += ',';
+    joined += header[i];
+  }
+  DLB_EXPECTS(joined == csv_header);
+  std::vector<result_row> rows;
+  while (pos < text.size()) {
+    const std::vector<std::string> f = next_csv_record(text, pos);
+    if (f.size() == 1 && f[0].empty()) continue;  // trailing blank line
+    DLB_EXPECTS(f.size() == 16);
+    result_row row;
+    row.cell = to_int<std::uint64_t>(f[0]);
+    row.grid = f[1];
+    row.scenario = f[2];
+    row.process = f[3];
+    row.model = f[4];
+    row.n = to_int<std::int64_t>(f[5]);
+    row.seed = to_int<std::uint64_t>(f[6]);
+    row.rounds = to_int<round_t>(f[7]);
+    row.converged = f[8] == "true";
+    row.final_max_min = to_real(f[9]);
+    row.final_max_avg = to_real(f[10]);
+    row.mean_max_min = to_real(f[11]);
+    row.peak_max_min = to_real(f[12]);
+    row.dummy_created = to_int<weight_t>(f[13]);
+    row.extra = parse_csv_extras(f[14]);
+    row.wall_ns = to_int<std::int64_t>(f[15]);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_rows(std::ostream& os, const std::vector<result_row>& rows,
+                sink_format f, timing t) {
+  if (f == sink_format::csv) {
+    write_csv(os, rows, t);
+  } else {
+    write_json(os, rows, t);
+  }
+}
+
 void result_sink::add(result_row row) {
   const std::lock_guard<std::mutex> lock(mutex_);
   rows_.push_back(std::move(row));

@@ -79,6 +79,32 @@ void write_json(std::ostream& os, const std::vector<result_row>& rows,
 /// Parses a JSON array written by write_json.
 [[nodiscard]] std::vector<result_row> parse_json(std::string_view json);
 
+/// Serialization backends of the result sink. All backends carry the same
+/// row schema; JSON is the default wire format, CSV the spreadsheet-facing
+/// one (`dlb_run --format csv`).
+enum class sink_format { json, csv };
+
+/// Parses "json" / "csv"; throws contract_violation on anything else.
+[[nodiscard]] sink_format parse_format(const std::string& name);
+
+/// Writes rows as RFC-4180-style CSV under the same row schema as JSON: one
+/// header line with the fixed columns plus an `extra` column holding the
+/// ordered metrics as `key=value` pairs joined by `;` (keys may contain `=`
+/// — parsing splits at the last one — but not `;`). Reals use the same
+/// shortest-round-trip formatting as JSON, so parse_csv(write_csv(rows))
+/// == rows exactly, timing masking included.
+void write_csv(std::ostream& os, const std::vector<result_row>& rows,
+               timing t = timing::include);
+
+/// Parses a CSV document written by write_csv (quoted fields may span
+/// lines). Throws contract_violation on malformed input or a header that
+/// does not match the schema.
+[[nodiscard]] std::vector<result_row> parse_csv(std::string_view text);
+
+/// Dispatches write_json / write_csv on `f`.
+void write_rows(std::ostream& os, const std::vector<result_row>& rows,
+                sink_format f, timing t = timing::include);
+
 /// Projects rows into the standard table shape (process × scenario →
 /// final max-min discrepancy), ready for analysis::pivot.
 [[nodiscard]] std::vector<analysis::pivot_cell> discrepancy_cells(

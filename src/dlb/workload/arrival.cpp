@@ -26,6 +26,7 @@ std::vector<arrival> uniform_arrivals::arrivals(round_t t) const {
   }
   std::sort(hits.begin(), hits.end());
   std::vector<arrival> out;
+  out.reserve(hits.size());
   for (std::size_t k = 0; k < hits.size();) {
     std::size_t run = k + 1;
     while (run < hits.size() && hits[run] == hits[k]) ++run;

@@ -50,6 +50,11 @@ class no_arrivals final : public arrival_schedule {
 class uniform_arrivals final : public arrival_schedule {
  public:
   uniform_arrivals(node_id n, weight_t per_round, std::uint64_t seed);
+
+  /// Sorted-merge contract (PR 3): the returned batch is ascending by node
+  /// with counts aggregated — the O(per_round log per_round) sparse
+  /// accumulation emits byte-for-byte what the old dense O(n) counts walk
+  /// emitted, which is the wire order every recorded grid row depends on.
   [[nodiscard]] std::vector<arrival> arrivals(round_t t) const override;
   [[nodiscard]] std::string name() const override { return "uniform"; }
 

@@ -49,6 +49,25 @@ TEST(ExperimentGridTest, CellSeedsAreDerivedFromTheCellIndex) {
   EXPECT_EQ(seeds.size(), cells.size()) << "seed streams must not collide";
 }
 
+TEST(ExperimentGridTest, CostEstimatesScaleWithSizeAndExpectedRounds) {
+  // Static cells: estimate = n (T^A unknown a priori). scaling-n sweeps
+  // sizes, so its estimates must differ across graphs and track num_nodes.
+  const grid_spec sweep = make_named_grid("scaling-n", tiny_options(), 1);
+  for (const auto& cell : expand_grid(sweep, 1)) {
+    EXPECT_EQ(cell.cost_estimate,
+              static_cast<std::uint64_t>(
+                  sweep.graphs[cell.graph_index].g->num_nodes()));
+  }
+  // Dynamic cells: estimate = n × dynamic_rounds.
+  const grid_spec dyn = make_named_grid("dynamic-uniform", tiny_options(), 1);
+  for (const auto& cell : expand_grid(dyn, 1)) {
+    EXPECT_EQ(cell.cost_estimate,
+              static_cast<std::uint64_t>(
+                  dyn.graphs[cell.graph_index].g->num_nodes()) *
+                  static_cast<std::uint64_t>(dyn.dynamic_rounds));
+  }
+}
+
 TEST(ExperimentGridTest, ExpansionOrderIsGraphOuterProcessInner) {
   const grid_spec spec = make_named_grid("table1", tiny_options(), 1);
   const auto cells = expand_grid(spec, 1);

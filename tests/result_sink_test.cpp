@@ -108,6 +108,75 @@ TEST(ResultSinkTest, MalformedJsonThrows) {
   EXPECT_THROW((void)parse_json("[{}"), contract_violation);
 }
 
+// --- CSV backend: same row schema, same exactness guarantees as JSON ----
+
+std::string csv_of(const std::vector<result_row>& rows,
+                   timing t = timing::include) {
+  std::ostringstream os;
+  write_csv(os, rows, t);
+  return os.str();
+}
+
+TEST(ResultSinkCsvTest, ArrayRoundTripsThroughWriteCsv) {
+  std::vector<result_row> rows{sample_row(), sample_row()};
+  rows[1].cell = 43;
+  rows[1].process = "round-down [37]";
+  rows[1].extra = {{"floor", 8}, {"t/T=0.5", 12.625}};  // '=' inside a key
+  EXPECT_EQ(parse_csv(csv_of(rows)), rows);
+}
+
+TEST(ResultSinkCsvTest, RoundTripPreservesAwkwardRealsAndEscapes) {
+  result_row row = sample_row();
+  row.final_max_min = 0.1 + 0.2;  // 0.30000000000000004
+  row.final_max_avg = 1.0 / 3.0;
+  row.mean_max_min = 1e-300;
+  row.process = "weird \"name\", with comma and \n newline";
+  row.scenario = "plain";
+  const auto parsed = parse_csv(csv_of({row}));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], row);
+}
+
+TEST(ResultSinkCsvTest, TimingExcludeMasksWallClockOnly) {
+  const result_row row = sample_row();
+  auto masked = parse_csv(csv_of({row}, timing::exclude));
+  ASSERT_EQ(masked.size(), 1u);
+  EXPECT_EQ(masked[0].wall_ns, 0);
+  masked[0].wall_ns = row.wall_ns;
+  EXPECT_EQ(masked[0], row);
+}
+
+TEST(ResultSinkCsvTest, HeaderCarriesTheSchemaAndEmptyRoundTrips) {
+  const std::string empty = csv_of({});
+  EXPECT_EQ(empty,
+            "cell,grid,scenario,process,model,n,seed,rounds,converged,"
+            "final_max_min,final_max_avg,mean_max_min,peak_max_min,"
+            "dummy_created,extra,wall_ns\n");
+  EXPECT_TRUE(parse_csv(empty).empty());
+}
+
+TEST(ResultSinkCsvTest, MalformedCsvThrows) {
+  EXPECT_THROW((void)parse_csv("not,the,header\n1,2,3\n"),
+               contract_violation);
+  EXPECT_THROW((void)parse_csv(csv_of({}) + "1,short,row\n"),
+               contract_violation);
+}
+
+TEST(ResultSinkCsvTest, FormatDispatchMatchesBackends) {
+  const std::vector<result_row> rows{sample_row()};
+  std::ostringstream as_json, as_csv;
+  write_rows(as_json, rows, sink_format::json);
+  write_rows(as_csv, rows, sink_format::csv);
+  std::ostringstream direct_json, direct_csv;
+  write_json(direct_json, rows);
+  write_csv(direct_csv, rows);
+  EXPECT_EQ(as_json.str(), direct_json.str());
+  EXPECT_EQ(as_csv.str(), direct_csv.str());
+  EXPECT_EQ(parse_format("csv"), sink_format::csv);
+  EXPECT_EQ(parse_format("json"), sink_format::json);
+  EXPECT_THROW((void)parse_format("xml"), contract_violation);
+}
+
 TEST(ResultSinkTest, TakeRowsSortsByCellIndex) {
   result_sink sink;
   for (const std::uint64_t cell : {5, 1, 4, 2, 0, 3}) {
