@@ -1,0 +1,29 @@
+// Sharded static balancing at scale: the `huge-static` grid (full
+// competitor set on a hypercube and a random 4-regular expander, run to the
+// continuous balancing time T^A) at n ≈ 1M, once sequentially and once at 8
+// shard threads. The probe loop — measure_balancing_time calling
+// is_balanced every round — is sharded alongside every competitor's rounds,
+// so the whole cell scales, not just the stepping. Metric rows are
+// byte-identical across the `-s1` / `-s8` batches; compare their `wall_ns`
+// per cell for the intra-graph speedup.
+//
+// Budget: minutes on a multicore box (T^A on the dim-20 hypercube is a few
+// hundred rounds over m ≈ 10M edges, times the competitor set).
+#include "bench_common.hpp"
+
+int main() {
+  using dlb::bench::grid_batch;
+  dlb::runtime::grid_options opts;
+  opts.target_n = 1 << 20;  // hypercube dim 20, expander 2^20
+  opts.spike_per_node = 2;
+  opts.repeats = 2;
+
+  grid_batch one{"huge-static", opts, "-s1"};
+  one.opts.shard_threads = 1;
+  grid_batch eight{"huge-static", opts, "-s8"};
+  eight.opts.shard_threads = 8;
+
+  return dlb::bench::run_grid_bench("huge_static", /*master_seed=*/37,
+                                    {one, eight},
+                                    /*cell_threads=*/1);
+}

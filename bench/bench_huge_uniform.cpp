@@ -1,14 +1,17 @@
-// Sharded huge-graph stepping: the `huge-uniform` grid (ring / torus /
-// hypercube under a uniform dynamic token stream) at n ≈ 1M and 4M, run at 1
-// and at 8 shard threads. Every batch produces byte-identical metric rows —
-// sharding is an execution strategy, not a model change — so the only column
-// that moves across batches is `wall_ns`: compare the `huge-uniform-n…-s1`
-// rows against their `-s8` twins in BENCH_huge_uniform.json for the
-// intra-graph speedup (the n = 1M diffusion cells are the headline; expect
-// ≥ 3× on an 8-core machine).
+// Sharded huge-graph stepping: the `huge-uniform` grid (the full competitor
+// set on ring / torus / hypercube under a uniform dynamic token stream) at
+// n ≈ 1M and 4M, run at 1 and at 8 shard threads. Every batch produces
+// byte-identical metric rows — sharding is an execution strategy, not a
+// model change — so the only column that moves across batches is `wall_ns`:
+// compare the `huge-uniform-n…-s1` rows against their `-s8` twins in
+// BENCH_huge_uniform.json for the intra-graph speedup (the n = 1M Alg1
+// diffusion cells are the headline; expect ≥ 3× on an 8-core machine, the
+// matching rows a little worse — their per-round α-schedule stays
+// sequential).
 //
-// Budget: minutes on a multicore box, dominated by the hypercube cells
-// (m ≈ 10 n). Needs a few GB of RAM for the 4M-node batch.
+// Budget: tens of minutes on a multicore box, dominated by the hypercube
+// cells (m ≈ 10 n) times the widened competitor set. Needs a few GB of RAM
+// for the 4M-node batch.
 #include "bench_common.hpp"
 
 int main() {
@@ -18,6 +21,7 @@ int main() {
   opts.dynamic_rounds = 200;
   opts.arrivals_per_round = 1000;
   opts.spike_per_node = 2;
+  opts.repeats = 2;  // full competitor set now: bound the randomized rows
 
   grid_batch one{"huge-uniform", opts, "-s1"};
   one.opts.shard_threads = 1;

@@ -9,8 +9,18 @@
 //   --grid        grid name (see --list); comma-separate to run several
 //   --threads     worker threads (default: hardware concurrency)
 //   --shard-threads  threads stepping a single graph's shards (default 1;
-//                 consumed by the huge-graph grids, e.g. huge-uniform —
-//                 rows are byte-identical for any value)
+//                 every engine-driven grid honours it — rows are
+//                 byte-identical for any value)
+//   --shard-balance  what the shard plan's node cut balances: nodes
+//                 (default) or edges (incident-edge work, for skewed degree
+//                 distributions) — byte-identical either way
+//   --cost-baseline  JSON rows file (e.g. bench/baselines/
+//                 perf_baseline.json) whose measured per-cell wall_ns seed
+//                 the scheduler's cost estimates; unknown cells keep the
+//                 analytic guess. Pure scheduling — output unchanged
+//   --stream      write rows as cells finish (cell order preserved, bytes
+//                 identical to the buffered path) instead of holding the
+//                 whole grid in memory; incompatible with --table
 //   --master-seed master seed pinning topology + every cell RNG (default 1)
 //   --n           approximate node count per graph case (default 128)
 //   --repeats     repetitions for randomized competitors (default 5)
@@ -87,6 +97,9 @@ int main(int argc, char** argv) {
     opts.trace_path = args.get("trace", opts.trace_path);
     opts.shard_threads = static_cast<unsigned>(
         args.get_int("shard-threads", opts.shard_threads));
+    opts.shard_cut = parse_shard_balance(args.get("shard-balance", "nodes"));
+    const std::string cost_baseline = args.get("cost-baseline", "");
+    const bool stream = args.has("stream");
     const auto master_seed =
         static_cast<std::uint64_t>(args.get_int("master-seed", 1));
     const auto threads = static_cast<unsigned>(args.get_int(
@@ -105,12 +118,56 @@ int main(int argc, char** argv) {
                    "`dlb_run --grid table1`\n";
       return 2;
     }
+    if (stream && want_table) {
+      std::cerr << "--stream does not hold rows, so it cannot render "
+                   "--table; drop one of the two\n";
+      return 2;
+    }
+
+    std::shared_ptr<const runtime::cost_model> hints;
+    if (!cost_baseline.empty()) {
+      hints = std::make_shared<const runtime::cost_model>(
+          runtime::cost_model::from_file(cost_baseline));
+      std::cerr << "cost baseline: " << hints->size()
+                << " measured (grid, scenario, process) keys from "
+                << cost_baseline << "\n";
+    }
+
+    // Build every grid spec up front: an unknown grid name or bad config
+    // must fail *before* outputs are touched — opening --out truncates it,
+    // and a begun stream has already emitted its framing.
+    std::vector<runtime::grid_spec> specs;
+    for (const std::string& name : split_csv(grid_arg)) {
+      specs.push_back(runtime::make_named_grid(name, opts, master_seed));
+      specs.back().cost_hints = hints;
+    }
 
     runtime::thread_pool pool(threads);
+    // --out opens lazily: streaming must write as rows arrive, but the
+    // buffered path opens (and truncates) only after every grid succeeded,
+    // so a mid-run failure leaves a previous results file intact.
+    std::ofstream out_file;
+    const auto open_out = [&]() {
+      out_file.open(out_path);
+      if (!out_file) std::cerr << "cannot open " << out_path << "\n";
+      return out_file.is_open();
+    };
+
+    // Streaming mode: rows leave for stdout (and --out) the moment every
+    // earlier cell has finished — the grid is never materialized.
+    runtime::row_writer stdout_writer(std::cout, format,
+                                      runtime::timing::exclude);
+    runtime::row_writer file_writer(out_file, format,
+                                    runtime::timing::include);
+    std::uint64_t streamed = 0;
+    if (stream) {
+      if (!out_path.empty() && !open_out()) return 1;
+      stdout_writer.begin();
+      if (out_file.is_open()) file_writer.begin();
+    }
+
     std::vector<runtime::result_row> all_rows;
-    for (const std::string& name : split_csv(grid_arg)) {
-      const runtime::grid_spec spec =
-          runtime::make_named_grid(name, opts, master_seed);
+    for (const runtime::grid_spec& spec : specs) {
       std::cerr << "running grid '" << spec.name << "' ("
                 << runtime::expand_grid(spec, master_seed).size()
                 << " cells, " << threads << " threads";
@@ -118,6 +175,14 @@ int main(int argc, char** argv) {
         std::cerr << ", " << spec.shard_threads << " shard threads";
       }
       std::cerr << ")\n";
+      if (stream) {
+        streamed += runtime::run_grid_streaming(
+            spec, master_seed, pool, [&](const runtime::result_row& row) {
+              stdout_writer.row(row);
+              if (out_file.is_open()) file_writer.row(row);
+            });
+        continue;
+      }
       auto rows = runtime::run_grid(spec, master_seed, pool);
       if (want_table) {
         std::cerr << "\n" << spec.description << "\n";
@@ -128,14 +193,19 @@ int main(int argc, char** argv) {
                       std::make_move_iterator(rows.end()));
     }
 
+    if (stream) {
+      stdout_writer.end();
+      if (out_file.is_open()) {
+        file_writer.end();
+        std::cerr << "wrote " << streamed << " rows to " << out_path << "\n";
+      }
+      return 0;
+    }
     runtime::write_rows(std::cout, all_rows, format, runtime::timing::exclude);
     if (!out_path.empty()) {
-      std::ofstream out(out_path);
-      if (!out) {
-        std::cerr << "cannot open " << out_path << "\n";
-        return 1;
-      }
-      runtime::write_rows(out, all_rows, format, runtime::timing::include);
+      if (!open_out()) return 1;
+      runtime::write_rows(out_file, all_rows, format,
+                          runtime::timing::include);
       std::cerr << "wrote " << all_rows.size() << " rows to " << out_path
                 << "\n";
     }

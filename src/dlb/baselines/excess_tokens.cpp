@@ -19,19 +19,38 @@ excess_token_process::excess_token_process(std::shared_ptr<const graph> g,
       s_(std::move(s)),
       alpha_(std::move(alpha)),
       loads_(std::move(tokens)),
-      rng_(make_rng(seed, /*stream=*/0xE6Cu)) {
+      draw_seed_(derive_seed(seed, /*stream=*/0xE6Cu)) {
   DLB_EXPECTS(g_ != nullptr);
   validate_alphas(*g_, s_, alpha_);
   DLB_EXPECTS(static_cast<node_id>(loads_.size()) == g_->num_nodes());
   for (const weight_t c : loads_) DLB_EXPECTS(c >= 0);
+  in_flight_.assign(static_cast<size_t>(g_->num_edges()), edge_tokens{});
 }
 
-void excess_token_process::step() {
-  const graph& g = *g_;
-  std::vector<weight_t> delta(static_cast<size_t>(g.num_nodes()), 0);
-  std::vector<node_id> scratch;
+void excess_token_process::real_load_extrema(node_id begin, node_id end,
+                                             real_t& lo, real_t& hi) const {
+  per_speed_extrema(loads_, s_, begin, end, lo, hi);
+}
 
-  for (node_id i = 0; i < g.num_nodes(); ++i) {
+// Phase 0 (per edge): reset the in-flight slots (a zero-load node writes
+// nothing in the send phase, so stale counts must not survive the round).
+void excess_token_process::clear_phase(edge_id e0, edge_id e1) {
+  for (edge_id e = e0; e < e1; ++e) {
+    in_flight_[static_cast<size_t>(e)] = edge_tokens{};
+  }
+}
+
+// Phase 1 (per sender node): floor sends to every neighbour, then `excess`
+// distinct neighbours — drawn from a counter-based stream keyed (seed, t, i)
+// via a partial Fisher-Yates over the adjacency list — get one extra token
+// each. Every write lands in the sender's direction slot of an incident
+// edge: single writer, any node partition computes identical bits.
+void excess_token_process::send_phase(node_id i0, node_id i1) {
+  const graph& g = *g_;
+  const std::uint64_t round_seed =
+      derive_seed(draw_seed_, static_cast<std::uint64_t>(t_));
+  std::vector<incidence> scratch;  // per-shard; reused across its nodes
+  for (node_id i = i0; i < i1; ++i) {
     const weight_t xi = loads_[static_cast<size_t>(i)];
     if (xi == 0) continue;
     const real_t si = static_cast<real_t>(s_[static_cast<size_t>(i)]);
@@ -45,7 +64,8 @@ void excess_token_process::step() {
       const weight_t send = static_cast<weight_t>(
           std::floor(rate * static_cast<real_t>(xi) + flow_epsilon));
       if (send > 0) {
-        delta[static_cast<size_t>(inc.neighbor)] += send;
+        edge_tokens& slot = in_flight_[static_cast<size_t>(inc.edge)];
+        (inc.neighbor > i ? slot.from_u : slot.from_v) += send;
         sent_floor_total += send;
       }
     }
@@ -57,31 +77,45 @@ void excess_token_process::step() {
     weight_t excess = xi - sent_floor_total - keep_floor;
     DLB_ASSERT(excess >= 0);
     DLB_ASSERT(excess <= static_cast<weight_t>(g.degree(i)));
-    if (excess == 0) {
-      delta[static_cast<size_t>(i)] -= sent_floor_total;
-      continue;
-    }
+    if (excess == 0) continue;
 
     // Choose `excess` distinct neighbours uniformly at random (partial
     // Fisher-Yates over the adjacency list); one extra token each.
-    scratch.clear();
-    for (const incidence& inc : g.neighbors(i)) {
-      scratch.push_back(inc.neighbor);
-    }
+    counter_rng rng(round_seed, static_cast<std::uint64_t>(i));
+    scratch.assign(g.neighbors(i).begin(), g.neighbors(i).end());
     for (weight_t k = 0; k < excess; ++k) {
       const std::size_t pick = static_cast<std::size_t>(uniform_int<std::int64_t>(
-          rng_, static_cast<std::int64_t>(k),
+          rng, static_cast<std::int64_t>(k),
           static_cast<std::int64_t>(scratch.size()) - 1));
       std::swap(scratch[static_cast<size_t>(k)], scratch[pick]);
-      delta[static_cast<size_t>(scratch[static_cast<size_t>(k)])] += 1;
+      const incidence& inc = scratch[static_cast<size_t>(k)];
+      edge_tokens& slot = in_flight_[static_cast<size_t>(inc.edge)];
+      (inc.neighbor > i ? slot.from_u : slot.from_v) += 1;
     }
-    delta[static_cast<size_t>(i)] -= sent_floor_total + excess;
   }
+}
 
-  for (node_id i = 0; i < g.num_nodes(); ++i) {
-    loads_[static_cast<size_t>(i)] += delta[static_cast<size_t>(i)];
+// Phase 2 (per node): fold incident edges — incoming minus outgoing tokens
+// (integer sums). The process never overdraws by construction.
+void excess_token_process::apply_phase(node_id i0, node_id i1) {
+  const graph& g = *g_;
+  for (node_id i = i0; i < i1; ++i) {
+    weight_t delta = 0;
+    for (const incidence& inc : g.neighbors(i)) {
+      const edge_tokens& slot = in_flight_[static_cast<size_t>(inc.edge)];
+      // i is the edge's u iff the neighbor is larger.
+      delta += inc.neighbor > i ? slot.from_v - slot.from_u
+                                : slot.from_u - slot.from_v;
+    }
+    loads_[static_cast<size_t>(i)] += delta;
     DLB_ASSERT(loads_[static_cast<size_t>(i)] >= 0);
   }
+}
+
+void excess_token_process::step() {
+  edge_phase([&](edge_id e0, edge_id e1) { clear_phase(e0, e1); });
+  node_phase([&](node_id i0, node_id i1) { send_phase(i0, i1); });
+  node_phase([&](node_id i0, node_id i1) { apply_phase(i0, i1); });
   ++t_;
 }
 

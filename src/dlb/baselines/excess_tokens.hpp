@@ -5,6 +5,12 @@
 //     x_i - ⌊y_{i,i}⌋ - Σ_j ⌊y_{i,j}⌋   (an integer in [0, d_i])
 // one each to distinct neighbours chosen uniformly at random (without
 // replacement). By construction the process never creates negative load.
+//
+// A node's sends (floors plus its excess draws, keyed (seed, t, i) through
+// a counter-based stream) are written into per-(edge, direction) slots whose
+// single writer is the sending endpoint, then a fold phase applies the
+// integer deltas — the shared sharded-stepper protocol, bit-identical at any
+// shard count (core/sharding.hpp).
 #pragma once
 
 #include <cstdint>
@@ -14,10 +20,12 @@
 
 #include "dlb/common/rng.hpp"
 #include "dlb/core/process.hpp"
+#include "dlb/core/sharding.hpp"
 
 namespace dlb {
 
-class excess_token_process final : public discrete_process {
+class excess_token_process final : public discrete_process,
+                                   public sharded_stepper {
  public:
   excess_token_process(std::shared_ptr<const graph> g, speed_vector s,
                        std::vector<real_t> alpha, std::vector<weight_t> tokens,
@@ -43,13 +51,32 @@ class excess_token_process final : public discrete_process {
     return "baseline-excess-tokens(FOS)";
   }
 
+  // shardable:
+  void real_load_extrema(node_id begin, node_id end, real_t& lo,
+                         real_t& hi) const override;
+
+ protected:
+  [[nodiscard]] const graph& shard_topology() const override { return *g_; }
+
  private:
+  /// Tokens in flight on one edge this round, split by direction (u→v and
+  /// v→u): the floor sends plus any excess tokens the draw assigned.
+  struct edge_tokens {
+    weight_t from_u = 0;
+    weight_t from_v = 0;
+  };
+
+  void clear_phase(edge_id e0, edge_id e1);
+  void send_phase(node_id i0, node_id i1);
+  void apply_phase(node_id i0, node_id i1);
+
   std::shared_ptr<const graph> g_;
   speed_vector s_;
   std::vector<real_t> alpha_;
   std::vector<weight_t> loads_;
-  rng_t rng_;
+  std::uint64_t draw_seed_;
   round_t t_ = 0;
+  std::vector<edge_tokens> in_flight_;  // per-edge directed sends (reused)
 };
 
 }  // namespace dlb

@@ -30,27 +30,34 @@ local_rounding_process::local_rounding_process(
       schedule_(std::move(schedule)),
       policy_(policy),
       loads_(std::move(tokens)),
-      rng_(make_rng(seed, /*stream=*/0xBA5Eu)) {
+      coin_seed_(derive_seed(seed, /*stream=*/0xBA5Eu)) {
   DLB_EXPECTS(g_ != nullptr && schedule_ != nullptr);
   validate_speeds(*g_, s_);
   DLB_EXPECTS(static_cast<node_id>(loads_.size()) == g_->num_nodes());
   for (const weight_t c : loads_) DLB_EXPECTS(c >= 0);
   accumulated_error_.assign(static_cast<size_t>(g_->num_edges()), 0.0);
+  edge_sent_.assign(static_cast<size_t>(g_->num_edges()), 0);
 }
 
 std::string local_rounding_process::name() const {
   return "baseline-" + to_string(policy_) + "(" + schedule_->name() + ")";
 }
 
-void local_rounding_process::step() {
+void local_rounding_process::real_load_extrema(node_id begin, node_id end,
+                                               real_t& lo, real_t& hi) const {
+  per_speed_extrema(loads_, s_, begin, end, lo, hi);
+}
+
+// Phase 1 (per edge): the rounding decision. The prescription reads only
+// round-start loads, quasirandom's Δ̂ is per-edge state, and the randomized
+// policies draw a counter-based coin keyed (seed, t, e) — so the decision is
+// a pure per-edge function, identical for any edge partition.
+void local_rounding_process::round_phase(edge_id e0, edge_id e1) {
   const graph& g = *g_;
-  schedule_->alphas(t_, alpha_buf_);
-  DLB_ASSERT(static_cast<edge_id>(alpha_buf_.size()) == g.num_edges());
-
-  // Synchronous round: all decisions read round-start loads.
-  std::vector<weight_t> delta(static_cast<size_t>(g.num_nodes()), 0);
-
-  for (edge_id e = 0; e < g.num_edges(); ++e) {
+  const std::uint64_t round_seed =
+      derive_seed(coin_seed_, static_cast<std::uint64_t>(t_));
+  for (edge_id e = e0; e < e1; ++e) {
+    edge_sent_[static_cast<size_t>(e)] = 0;
     const real_t a = alpha_buf_[static_cast<size_t>(e)];
     if (a == 0) continue;
     const edge& ed = g.endpoints(e);
@@ -71,23 +78,24 @@ void local_rounding_process::step() {
       case rounding_policy::round_down:
         break;  // keep the floor
       case rounding_policy::randomized_fraction:
-        if (frac > flow_epsilon && bernoulli(rng_, frac)) ++sent;
+        if (frac > flow_epsilon) {
+          counter_rng coin(round_seed, static_cast<std::uint64_t>(e));
+          if (bernoulli(coin, frac)) ++sent;
+        }
         break;
       case rounding_policy::randomized_half:
-        if (frac > flow_epsilon && bernoulli(rng_, 0.5)) ++sent;
+        if (frac > flow_epsilon) {
+          counter_rng coin(round_seed, static_cast<std::uint64_t>(e));
+          if (bernoulli(coin, 0.5)) ++sent;
+        }
         break;
       case rounding_policy::quasirandom: {
         // Signed form oriented u→v: pick the rounding minimizing the new
         // accumulated error |Δ̂ + δ - sent_signed|.
         real_t& acc = accumulated_error_[static_cast<size_t>(e)];
-        const real_t signed_floor =
-            u_sends ? fl : -std::ceil(amount);  // floor of signed δ toward 0?
-        // We round the *amount* down or up; in signed terms the candidates
-        // are sign·⌊amount⌋ and sign·⌈amount⌉.
         const real_t sign = u_sends ? 1.0 : -1.0;
         const real_t cand_down = sign * fl;
         const real_t cand_up = sign * std::ceil(amount);
-        (void)signed_floor;
         const real_t err_down = std::abs(acc + prescription - cand_down);
         const real_t err_up = std::abs(acc + prescription - cand_up);
         if (err_up < err_down) sent = static_cast<weight_t>(std::ceil(amount));
@@ -96,21 +104,43 @@ void local_rounding_process::step() {
       }
     }
     if (sent == 0) continue;
-
-    const node_id from = u_sends ? ed.u : ed.v;
-    const node_id to = u_sends ? ed.v : ed.u;
-    delta[static_cast<size_t>(from)] -= sent;
-    delta[static_cast<size_t>(to)] += sent;
+    edge_sent_[static_cast<size_t>(e)] = u_sends ? sent : -sent;
   }
+}
 
-  for (node_id i = 0; i < g.num_nodes(); ++i) {
-    loads_[static_cast<size_t>(i)] += delta[static_cast<size_t>(i)];
+// Phase 2 (per node): apply the synchronous deltas by folding incident
+// edges (integer sums), tracking negativity per shard.
+local_rounding_process::negativity local_rounding_process::apply_phase(
+    node_id i0, node_id i1) {
+  const graph& g = *g_;
+  negativity neg;
+  for (node_id i = i0; i < i1; ++i) {
+    loads_[static_cast<size_t>(i)] += signed_edge_inflow(g, edge_sent_, i);
     if (loads_[static_cast<size_t>(i)] < 0) {
-      ++negative_events_;
-      min_load_seen_ =
-          std::min(min_load_seen_, loads_[static_cast<size_t>(i)]);
+      ++neg.events;
+      neg.min_load = std::min(neg.min_load, loads_[static_cast<size_t>(i)]);
     }
   }
+  return neg;
+}
+
+void local_rounding_process::step() {
+  if (!alphas_cached_) {
+    schedule_->alphas(t_, alpha_buf_);
+    DLB_ASSERT(static_cast<edge_id>(alpha_buf_.size()) == g_->num_edges());
+    alphas_cached_ = schedule_->time_invariant();
+  }
+
+  edge_phase([&](edge_id e0, edge_id e1) { round_phase(e0, e1); });
+  const negativity neg = node_phase_reduce<negativity>(
+      negativity{},
+      [&](node_id i0, node_id i1) { return apply_phase(i0, i1); },
+      [](negativity a, negativity b) {
+        return negativity{a.events + b.events,
+                          std::min(a.min_load, b.min_load)};
+      });
+  negative_events_ += neg.events;
+  min_load_seen_ = std::min(min_load_seen_, neg.min_load);
   ++t_;
 }
 

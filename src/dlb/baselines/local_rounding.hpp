@@ -21,6 +21,11 @@
 // Up-rounding schemes can overdraw a node (negative load); the paper notes
 // these baselines permit it. We track the number of negative-load node-rounds
 // for reporting.
+//
+// Every rounding decision is per-edge (randomized ones draw a counter-based
+// coin keyed (seed, t, e)) and the load update folds a node's incident edges
+// — the shared sharded-stepper phases, so the baselines step shard-parallel
+// with bit-identical results at any shard count (core/sharding.hpp).
 #pragma once
 
 #include <algorithm>
@@ -31,6 +36,7 @@
 
 #include "dlb/common/rng.hpp"
 #include "dlb/core/process.hpp"
+#include "dlb/core/sharding.hpp"
 
 namespace dlb {
 
@@ -43,7 +49,8 @@ enum class rounding_policy {
 
 [[nodiscard]] std::string to_string(rounding_policy p);
 
-class local_rounding_process final : public discrete_process {
+class local_rounding_process final : public discrete_process,
+                                     public sharded_stepper {
  public:
   /// `schedule` defines the per-round α (diffusion or matching model);
   /// `tokens[i]` unit tasks start on node i; `seed` drives random roundings.
@@ -95,7 +102,23 @@ class local_rounding_process final : public discrete_process {
     return accumulated_error_[static_cast<size_t>(e)];
   }
 
+  // shardable:
+  void real_load_extrema(node_id begin, node_id end, real_t& lo,
+                         real_t& hi) const override;
+
+ protected:
+  [[nodiscard]] const graph& shard_topology() const override { return *g_; }
+
  private:
+  // One round's phases; ranges are one shard's slice. The apply phase
+  // returns the shard's (negative-event count, min load) fold.
+  struct negativity {
+    std::int64_t events = 0;
+    weight_t min_load = 0;
+  };
+  void round_phase(edge_id e0, edge_id e1);
+  [[nodiscard]] negativity apply_phase(node_id i0, node_id i1);
+
   std::shared_ptr<const graph> g_;
   speed_vector s_;
   std::unique_ptr<alpha_schedule> schedule_;
@@ -103,7 +126,9 @@ class local_rounding_process final : public discrete_process {
   std::vector<weight_t> loads_;
   std::vector<real_t> accumulated_error_;  // quasirandom Δ̂, oriented u→v
   std::vector<real_t> alpha_buf_;
-  rng_t rng_;
+  bool alphas_cached_ = false;  // alpha_buf_ valid for every round (diffusion)
+  std::vector<weight_t> edge_sent_;  // signed per-edge send (+ = u→v), reused
+  std::uint64_t coin_seed_;
   round_t t_ = 0;
   std::int64_t negative_events_ = 0;
   weight_t min_load_seen_ = 0;

@@ -13,6 +13,13 @@
 //  positive and a negative token meet, both are eliminated. [19] shows this
 //  reaches constant max-min discrepancy in O(T) rounds; as the paper notes,
 //  too many negative tokens landing on one node can push its load negative.
+//
+// A node's walkers draw from one counter-based stream keyed (seed, t, i) —
+// positive walkers first, then negative, the sequential visit order — so a
+// walker's step never depends on which shard visits its node. Moves are
+// recorded in per-(edge, direction) slots (single writer: the walker's
+// origin node) and folded per destination node — the shared sharded-stepper
+// protocol, bit-identical at any shard count (core/sharding.hpp).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,7 @@
 
 #include "dlb/common/rng.hpp"
 #include "dlb/core/process.hpp"
+#include "dlb/core/sharding.hpp"
 
 namespace dlb {
 
@@ -31,7 +39,8 @@ struct random_walk_config {
   double laziness = 0.5;      ///< probability a walker stays put
 };
 
-class random_walk_balancer final : public discrete_process {
+class random_walk_balancer final : public discrete_process,
+                                   public sharded_stepper {
  public:
   random_walk_balancer(std::shared_ptr<const graph> g, speed_vector s,
                        std::vector<real_t> alpha,
@@ -76,10 +85,36 @@ class random_walk_balancer final : public discrete_process {
     return negative_events_;
   }
 
+  // shardable:
+  void real_load_extrema(node_id begin, node_id end, real_t& lo,
+                         real_t& hi) const override;
+
+ protected:
+  [[nodiscard]] const graph& shard_topology() const override { return *g_; }
+
  private:
   void coarse_step();
   void fine_step();
   void mark_tokens();  // entering phase 2: derive walkers from loads
+
+  // Coarse phases (round-down diffusion on the discrete loads).
+  void coarse_flow_phase(edge_id e0, edge_id e1);
+  void coarse_apply_phase(node_id i0, node_id i1);
+
+  // Fine phases: clear walk slots (per edge), walk every token (per origin
+  // node, counter-based draws), apply moves + annihilate (per node; returns
+  // the shard's negative-load event count).
+  void clear_walks_phase(edge_id e0, edge_id e1);
+  void walk_phase(node_id i0, node_id i1);
+  [[nodiscard]] std::int64_t settle_phase(node_id i0, node_id i1);
+
+  /// Walkers crossing one edge this round, split by direction and sign.
+  struct walk_counts {
+    weight_t pos_from_u = 0;
+    weight_t pos_from_v = 0;
+    weight_t neg_from_u = 0;
+    weight_t neg_from_v = 0;
+  };
 
   std::shared_ptr<const graph> g_;
   speed_vector s_;
@@ -90,9 +125,13 @@ class random_walk_balancer final : public discrete_process {
   std::vector<weight_t> negative_;  // negative walkers per node
   bool tokens_marked_ = false;
   weight_t threshold_ = 0;  // α
-  rng_t rng_;
+  std::uint64_t walk_seed_;
   round_t t_ = 0;
   std::int64_t negative_events_ = 0;
+  std::vector<weight_t> edge_sent_;    // coarse: signed send (+ = u→v), reused
+  std::vector<walk_counts> walks_;     // fine: per-edge moves, reused
+  std::vector<weight_t> stay_pos_;     // fine: walkers staying put, reused
+  std::vector<weight_t> stay_neg_;
 };
 
 }  // namespace dlb

@@ -27,20 +27,44 @@ using rng_t = std::mt19937_64;
   return rng_t{derive_seed(master, stream)};
 }
 
+/// Counter-based RNG stream: every output is the SplitMix64 finalizer of
+/// (seed, key, counter) — a pure function of its inputs, with no carried
+/// engine state. Sharded randomized processes draw through one counter_rng
+/// per (entity, round), so the draw a given edge/node/walker sees never
+/// depends on which shard — or in which order — the entities are visited.
+/// Satisfies UniformRandomBitGenerator, so the helpers below accept it.
+class counter_rng {
+ public:
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  counter_rng(std::uint64_t seed, std::uint64_t key)
+      : base_(derive_seed(seed, key)) {}
+
+  result_type operator()() noexcept { return derive_seed(base_, counter_++); }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t counter_ = 0;
+};
+
 /// Bernoulli draw with success probability p in [0,1].
-[[nodiscard]] inline bool bernoulli(rng_t& rng, double p) {
+template <typename Rng>
+[[nodiscard]] bool bernoulli(Rng& rng, double p) {
   return std::bernoulli_distribution{p}(rng);
 }
 
 /// Uniform integer in [lo, hi] inclusive.
-template <typename Int>
-[[nodiscard]] Int uniform_int(rng_t& rng, Int lo, Int hi) {
+template <typename Int, typename Rng>
+[[nodiscard]] Int uniform_int(Rng& rng, Int lo, Int hi) {
   return std::uniform_int_distribution<Int>{lo, hi}(rng);
 }
 
 /// Uniform real in [lo, hi).
-[[nodiscard]] inline double uniform_real(rng_t& rng, double lo = 0.0,
-                                         double hi = 1.0) {
+template <typename Rng>
+[[nodiscard]] double uniform_real(Rng& rng, double lo = 0.0,
+                                  double hi = 1.0) {
   return std::uniform_real_distribution<double>{lo, hi}(rng);
 }
 

@@ -162,43 +162,22 @@ void algorithm1::receive_phase(node_id i0, node_id i1) {
 }
 
 void algorithm1::step() {
-  const graph& g = process_->topology();
-
   // Advance the continuous reference to round t, making f^A_{i,j}(t) known
   // (itself sharded when sharding is enabled).
   process_->step();
 
-  if (shard_ == nullptr) {
-    deficit_phase(0, g.num_edges());
-    dummy_created_ += send_phase(0, g.num_nodes());
-    receive_phase(0, g.num_nodes());
-  } else {
-    const shard_plan& plan = shard_->plan;
-    shard_->for_each_shard([&](std::size_t s) {
-      deficit_phase(plan.edge_begin(s), plan.edge_end(s));
-    });
-    std::vector<weight_t> minted(plan.num_shards(), 0);
-    shard_->for_each_shard([&](std::size_t s) {
-      minted[s] = send_phase(plan.node_begin(s), plan.node_end(s));
-    });
-    for (const weight_t d : minted) dummy_created_ += d;
-    shard_->for_each_shard([&](std::size_t s) {
-      receive_phase(plan.node_begin(s), plan.node_end(s));
-    });
-  }
+  edge_phase([&](edge_id e0, edge_id e1) { deficit_phase(e0, e1); });
+  dummy_created_ += node_phase_reduce<weight_t>(
+      0, [&](node_id i0, node_id i1) { return send_phase(i0, i1); },
+      [](weight_t a, weight_t b) { return a + b; });
+  node_phase([&](node_id i0, node_id i1) { receive_phase(i0, i1); });
 
   ++t_;
 }
 
-void algorithm1::enable_sharded_stepping(
-    std::shared_ptr<const shard_context> ctx) {
-  DLB_EXPECTS(ctx != nullptr);
-  DLB_EXPECTS(ctx->plan.num_nodes() == process_->topology().num_nodes());
-  DLB_EXPECTS(ctx->plan.num_edges() == process_->topology().num_edges());
-  shard_ = ctx;
-  // The internal continuous reference steps inside the same round; shard it
-  // too when it supports it (flow imitation stays exact either way).
-  try_enable_sharding(*process_, std::move(ctx));
+void algorithm1::on_sharding_enabled(
+    const std::shared_ptr<const shard_context>& ctx) {
+  try_enable_sharding(*process_, ctx);
 }
 
 void algorithm1::real_load_extrema(node_id begin, node_id end, real_t& lo,

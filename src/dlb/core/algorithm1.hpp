@@ -39,10 +39,11 @@ struct algorithm1_config {
 /// node allocates tasks to its positive-deficit edges in ascending edge-id
 /// order — only the sender's own pool shrinks, so nodes are independent), and
 /// a receive phase (each node drains its inbound transfer sets, again in
-/// ascending edge-id order). `enable_sharded_stepping` runs the phases over a
-/// shard plan with results bit-identical to the sequential round (the pool
-/// push/pop order per node is preserved exactly; see core/sharding.hpp).
-class algorithm1 final : public discrete_process, public shardable {
+/// ascending edge-id order) — the shared `sharded_stepper` protocol.
+/// `enable_sharded_stepping` runs the phases over a shard plan with results
+/// bit-identical to the sequential round (the pool push/pop order per node
+/// is preserved exactly; see core/sharding.hpp).
+class algorithm1 final : public discrete_process, public sharded_stepper {
  public:
   /// `process` is a *fresh* continuous process (it will be reset to the
   /// total-weight load vector of `initial` and stepped internally).
@@ -113,16 +114,18 @@ class algorithm1 final : public discrete_process, public shardable {
   /// Task pools (read-only view).
   [[nodiscard]] const task_assignment& tasks() const { return tasks_; }
 
-  // shardable (also enables sharding on the internal continuous process when
-  // it supports it):
-  void enable_sharded_stepping(
-      std::shared_ptr<const shard_context> ctx) override;
-  [[nodiscard]] std::shared_ptr<const shard_context> sharding()
-      const override {
-    return shard_;
-  }
+  // shardable:
   void real_load_extrema(node_id begin, node_id end, real_t& lo,
                          real_t& hi) const override;
+
+ protected:
+  [[nodiscard]] const graph& shard_topology() const override {
+    return process_->topology();
+  }
+  // Also enables sharding on the internal continuous process when it
+  // supports it (flow imitation stays exact either way).
+  void on_sharding_enabled(
+      const std::shared_ptr<const shard_context>& ctx) override;
 
  private:
   /// One pending transfer: the task set S_ij in flight over an edge.
@@ -153,7 +156,6 @@ class algorithm1 final : public discrete_process, public shardable {
   round_t t_ = 0;
   std::vector<real_t> deficit_;           // per-edge ŷ, oriented u→v (reused)
   std::vector<pending_transfer> outbox_;  // per-edge transfer sets (reused)
-  std::shared_ptr<const shard_context> shard_;  // null → sequential stepping
 };
 
 }  // namespace dlb

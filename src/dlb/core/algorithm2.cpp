@@ -21,7 +21,7 @@ algorithm2::algorithm2(std::unique_ptr<continuous_process> process,
     : process_(std::move(process)),
       loads_(std::move(tokens)),
       ledger_(checked_topology(process_.get())),
-      rng_(make_rng(seed, /*stream=*/0xA19u)) {
+      coin_seed_(derive_seed(seed, /*stream=*/0xA19u)) {
   const graph& g = process_->topology();
   DLB_EXPECTS(static_cast<node_id>(loads_.size()) == g.num_nodes());
   for (const weight_t c : loads_) DLB_EXPECTS(c >= 0);
@@ -40,6 +40,9 @@ algorithm2::algorithm2(std::unique_ptr<continuous_process> process,
     x0[i] = static_cast<real_t>(loads_[i]);
   }
   process_->reset(std::move(x0));
+  sends_.assign(static_cast<size_t>(g.num_edges()), edge_send{});
+  sent_.assign(loads_.size(), 0);
+  dummy_out_.assign(loads_.size(), 0);
 }
 
 std::vector<weight_t> algorithm2::real_loads() const {
@@ -68,88 +71,133 @@ weight_t algorithm2::drain_tokens(node_id i, weight_t count) {
   return drained;
 }
 
-void algorithm2::step() {
+void algorithm2::real_load_extrema(node_id begin, node_id end, real_t& lo,
+                                   real_t& hi) const {
+  const speed_vector& s = process_->speeds();
+  for (node_id i = begin; i < end; ++i) {
+    const std::size_t idx = static_cast<size_t>(i);
+    const real_t per_speed = static_cast<real_t>(loads_[idx] - dummies_[idx]) /
+                             static_cast<real_t>(s[idx]);
+    lo = std::min(lo, per_speed);
+    hi = std::max(hi, per_speed);
+  }
+}
+
+void algorithm2::on_sharding_enabled(
+    const std::shared_ptr<const shard_context>& ctx) {
+  try_enable_sharding(*process_, ctx);
+}
+
+// Phase 1 (per edge): the positive-deficit direction decides its rounded
+// send Y = ⌊Ŷ⌋ + Bernoulli({Ŷ}). The coin is a counter-based draw keyed
+// (seed, t, e) — a pure function of the edge and round, independent of
+// visit order — and the ledger record is a per-edge write with exactly one
+// writer. Transfers are synchronous: decisions see only round-start state.
+void algorithm2::decide_phase(edge_id e0, edge_id e1) {
   const graph& g = process_->topology();
-  process_->step();
-
-  // Phase 1: every edge's positive-deficit direction decides its rounded
-  // send Y = ⌊Ŷ⌋ + Bernoulli({Ŷ}). Transfers are synchronous: decisions see
-  // only round-start state, deliveries land afterwards.
-  struct send_record {
-    edge_id e;
-    node_id sender;
-    weight_t y;
-  };
-  std::vector<send_record> sends;
-  std::vector<weight_t> sent(static_cast<size_t>(g.num_nodes()), 0);
-  std::vector<weight_t> recv(static_cast<size_t>(g.num_nodes()), 0);
-
-  for (edge_id e = 0; e < g.num_edges(); ++e) {
-    const edge& ed = g.endpoints(e);
+  const std::uint64_t round_seed =
+      derive_seed(coin_seed_, static_cast<std::uint64_t>(t_));
+  for (edge_id e = e0; e < e1; ++e) {
+    edge_send& out = sends_[static_cast<size_t>(e)];
+    out = edge_send{};
     real_t deficit = process_->cumulative_flow(e) -
                      static_cast<real_t>(ledger_.forward(e));
     const real_t snapped = std::round(deficit);
     if (std::abs(deficit - snapped) < flow_epsilon) deficit = snapped;
     if (deficit == 0) continue;
 
-    const node_id sender = deficit > 0 ? ed.u : ed.v;
+    const edge& ed = g.endpoints(e);
+    const bool from_u = deficit > 0;
     const real_t amount = std::abs(deficit);
     const real_t fl = std::floor(amount);
     const real_t frac = amount - fl;
     weight_t y = static_cast<weight_t>(fl);
-    if (frac > 0 && bernoulli(rng_, frac)) ++y;
+    if (frac > 0) {
+      counter_rng coin(round_seed, static_cast<std::uint64_t>(e));
+      if (bernoulli(coin, frac)) ++y;
+    }
     if (y == 0) continue;
 
-    ledger_.record(e, sender, y);
-    sends.push_back({e, sender, y});
-    sent[static_cast<size_t>(sender)] += y;
-    recv[static_cast<size_t>(g.other_endpoint(e, sender))] += y;
+    ledger_.record(e, from_u ? ed.u : ed.v, y);
+    out.y = y;
+    out.from_u = from_u;
   }
+}
 
-  // Phase 2: resolve each sender's real/dummy token composition. Real tokens
-  // ship first; when the pool is short, dummies ship, minted from the
-  // infinite source if the node holds none. (Dummies are dynamically
-  // indistinguishable from real tokens — the paper treats them as normal —
-  // so the bookkeeping below only affects final-report elimination.)
-  std::vector<weight_t> dummy_out(static_cast<size_t>(g.num_nodes()), 0);
-  for (node_id i = 0; i < g.num_nodes(); ++i) {
-    const weight_t out = sent[static_cast<size_t>(i)];
-    if (out == 0) continue;
-    const weight_t real_avail =
-        loads_[static_cast<size_t>(i)] - dummies_[static_cast<size_t>(i)];
-    if (out > real_avail) {
-      const weight_t needed = out - real_avail;
-      const weight_t minted =
-          needed - std::min(needed, dummies_[static_cast<size_t>(i)]);
-      dummy_created_ += minted;
-      loads_[static_cast<size_t>(i)] += minted;
-      dummies_[static_cast<size_t>(i)] += minted;
-      dummy_out[static_cast<size_t>(i)] = needed;
+// Phase 2 (per sender node): resolve each sender's real/dummy token
+// composition — real tokens ship first; when the pool is short, dummies
+// ship, minted from the infinite source if the node holds none — and route
+// the dummy attribution over the node's sending edges in ascending edge-id
+// order (the order the sequential loop fills them). Writes: the node's own
+// loads/dummies/sent/dummy_out slots, plus the `dummies` slot of edges the
+// node sends on (single writer — each edge has exactly one sender).
+weight_t algorithm2::mint_phase(node_id i0, node_id i1) {
+  const graph& g = process_->topology();
+  weight_t minted_total = 0;
+  for (node_id i = i0; i < i1; ++i) {
+    const std::size_t idx = static_cast<size_t>(i);
+    weight_t out = 0;
+    for (const incidence& inc : g.neighbors(i)) {
+      const edge_send& s = sends_[static_cast<size_t>(inc.edge)];
+      if (s.y > 0 && s.from_u == (inc.neighbor > i)) out += s.y;
     }
+    sent_[idx] = out;
+    dummy_out_[idx] = 0;
+    if (out == 0) continue;
+    const weight_t real_avail = loads_[idx] - dummies_[idx];
+    if (out <= real_avail) continue;
+    const weight_t needed = out - real_avail;
+    const weight_t minted = needed - std::min(needed, dummies_[idx]);
+    minted_total += minted;
+    loads_[idx] += minted;
+    dummies_[idx] += minted;
+    dummy_out_[idx] = needed;
+    // (Dummies are dynamically indistinguishable from real tokens — the
+    // paper treats them as normal — so the attribution below only affects
+    // final-report elimination.)
+    weight_t remaining = needed;
+    for (const incidence& inc : g.neighbors(i)) {
+      if (remaining == 0) break;
+      edge_send& s = sends_[static_cast<size_t>(inc.edge)];
+      if (s.y == 0 || s.from_u != (inc.neighbor > i)) continue;
+      s.dummies = std::min(remaining, s.y);
+      remaining -= s.dummies;
+    }
+    DLB_ASSERT(remaining == 0);
   }
+  return minted_total;
+}
 
-  // Phase 3: route dummy attribution with the tokens, filling each sender's
-  // outgoing edges in order until its dummy quota is spent.
-  std::vector<weight_t> dummy_remaining = dummy_out;
-  std::vector<weight_t> recv_dummy(static_cast<size_t>(g.num_nodes()), 0);
-  for (const send_record& s : sends) {
-    const weight_t d =
-        std::min(dummy_remaining[static_cast<size_t>(s.sender)], s.y);
-    if (d == 0) continue;
-    dummy_remaining[static_cast<size_t>(s.sender)] -= d;
-    recv_dummy[static_cast<size_t>(g.other_endpoint(s.e, s.sender))] += d;
+// Phase 3 (per node): apply the synchronous deltas by folding incident
+// edges (integer sums — order-independent, but folded ascending anyway).
+void algorithm2::apply_phase(node_id i0, node_id i1) {
+  const graph& g = process_->topology();
+  for (node_id i = i0; i < i1; ++i) {
+    const std::size_t idx = static_cast<size_t>(i);
+    weight_t recv = 0;
+    weight_t recv_dummy = 0;
+    for (const incidence& inc : g.neighbors(i)) {
+      const edge_send& s = sends_[static_cast<size_t>(inc.edge)];
+      if (s.y > 0 && s.from_u == (i > inc.neighbor)) {
+        recv += s.y;
+        recv_dummy += s.dummies;
+      }
+    }
+    loads_[idx] += recv - sent_[idx];
+    dummies_[idx] += recv_dummy - dummy_out_[idx];
+    DLB_ASSERT(loads_[idx] >= 0);
+    DLB_ASSERT(dummies_[idx] >= 0);
   }
-  for (const weight_t rem : dummy_remaining) DLB_ASSERT(rem == 0);
+}
 
-  // Phase 4: apply the synchronous deltas.
-  for (node_id i = 0; i < g.num_nodes(); ++i) {
-    loads_[static_cast<size_t>(i)] +=
-        recv[static_cast<size_t>(i)] - sent[static_cast<size_t>(i)];
-    dummies_[static_cast<size_t>(i)] += recv_dummy[static_cast<size_t>(i)] -
-                                        dummy_out[static_cast<size_t>(i)];
-    DLB_ASSERT(loads_[static_cast<size_t>(i)] >= 0);
-    DLB_ASSERT(dummies_[static_cast<size_t>(i)] >= 0);
-  }
+void algorithm2::step() {
+  process_->step();
+
+  edge_phase([&](edge_id e0, edge_id e1) { decide_phase(e0, e1); });
+  dummy_created_ += node_phase_reduce<weight_t>(
+      0, [&](node_id i0, node_id i1) { return mint_phase(i0, i1); },
+      [](weight_t a, weight_t b) { return a + b; });
+  node_phase([&](node_id i0, node_id i1) { apply_phase(i0, i1); });
 
   ++t_;
 }

@@ -7,6 +7,12 @@
 // concentration (Lemma 12) yields
 //   Theorem 8: max-avg discrepancy <= d/4 + O(sqrt(d·log n)) w.h.p., and
 //   max-min discrepancy O(sqrt(d·log n)) given sufficient initial load.
+//
+// The rounding coin of edge e in round t is a counter-based draw keyed
+// (seed, t, e) — a pure per-edge function, so the round decomposes into the
+// shared sharded-stepper phases (decide per edge; mint and attribute dummies
+// per sender node; apply per node) with bit-identical results at any shard
+// count.
 #pragma once
 
 #include <cstdint>
@@ -16,10 +22,11 @@
 #include "dlb/common/rng.hpp"
 #include "dlb/core/flow_ledger.hpp"
 #include "dlb/core/process.hpp"
+#include "dlb/core/sharding.hpp"
 
 namespace dlb {
 
-class algorithm2 final : public discrete_process {
+class algorithm2 final : public discrete_process, public sharded_stepper {
  public:
   /// `process` is a fresh continuous process; `tokens[i]` is the number of
   /// unit tasks initially on node i; `seed` drives the rounding coins.
@@ -80,14 +87,43 @@ class algorithm2 final : public discrete_process {
     return dummies_[static_cast<size_t>(i)];
   }
 
+  // shardable:
+  void real_load_extrema(node_id begin, node_id end, real_t& lo,
+                         real_t& hi) const override;
+
+ protected:
+  [[nodiscard]] const graph& shard_topology() const override {
+    return process_->topology();
+  }
+  void on_sharding_enabled(
+      const std::shared_ptr<const shard_context>& ctx) override;
+
  private:
+  /// Round-t transfer decision of one edge: `y` tokens from `from_u`'s side
+  /// (0 = no transfer), of which `dummies` are attributed dummy tokens
+  /// (filled by the mint phase).
+  struct edge_send {
+    weight_t y = 0;
+    weight_t dummies = 0;
+    bool from_u = false;
+  };
+
+  // One round's phases; ranges are one shard's slice. The mint phase
+  // returns the shard's dummy mint count.
+  void decide_phase(edge_id e0, edge_id e1);
+  [[nodiscard]] weight_t mint_phase(node_id i0, node_id i1);
+  void apply_phase(node_id i0, node_id i1);
+
   std::unique_ptr<continuous_process> process_;
   std::vector<weight_t> loads_;    // token counts incl. dummies
   std::vector<weight_t> dummies_;  // dummy tokens residing per node
   discrete_flow_ledger ledger_;
-  rng_t rng_;
+  std::uint64_t coin_seed_;
   weight_t dummy_created_ = 0;
   round_t t_ = 0;
+  std::vector<edge_send> sends_;      // per-edge decisions (reused)
+  std::vector<weight_t> sent_;        // per-node outgoing totals (reused)
+  std::vector<weight_t> dummy_out_;   // per-node dummy attribution (reused)
 };
 
 }  // namespace dlb

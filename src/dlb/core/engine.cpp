@@ -16,20 +16,79 @@ real_t round_discrepancy(const discrete_process& d) {
   return max_min_discrepancy(d.real_loads(), d.speeds());
 }
 
-bool is_balanced(const continuous_process& a, real_t tol) {
+namespace {
+
+std::shared_ptr<const shard_context> sharding_of(
+    const continuous_process& a) {
+  const auto* sh = dynamic_cast<const shardable*>(&a);
+  return sh != nullptr ? sh->sharding() : nullptr;
+}
+
+// Total speed — an integer sum, so any grouping (sequential or per shard)
+// is exact. Invariant across a run; measure_balancing_time computes it once
+// instead of per probe round.
+weight_t total_speed_of(const speed_vector& s, const shard_context* ctx) {
+  if (ctx == nullptr) {
+    weight_t total = 0;
+    for (const weight_t si : s) total += si;
+    return total;
+  }
+  const shard_plan& plan = ctx->plan;
+  std::vector<weight_t> part(plan.num_shards(), 0);
+  ctx->for_each_shard([&](std::size_t sh_i) {
+    weight_t acc = 0;
+    for (node_id i = plan.node_begin(sh_i); i < plan.node_end(sh_i); ++i) {
+      acc += s[static_cast<size_t>(i)];
+    }
+    part[sh_i] = acc;
+  });
+  weight_t total = 0;
+  for (const weight_t p : part) total += p;
+  return total;
+}
+
+// The T^A membership test, shard-parallel when a context is given — what
+// makes million-node *static* probes feasible: the O(n) load sum and the
+// O(n) per-node check both spread over the shard pool. Bit-equal to the
+// sequential path by construction: the sum goes through blocked_sum (whose
+// grouping depends only on n, never the shard count) and the check folds
+// with boolean AND — both order-independent.
+bool balanced_against(const continuous_process& a, weight_t total_speed,
+                      real_t tol, const shard_context* ctx) {
   const std::vector<real_t>& x = a.loads();
   const speed_vector& s = a.speeds();
-  weight_t total_speed = 0;
-  for (const weight_t si : s) total_speed += si;
-  real_t w = 0;
-  for (const real_t xi : x) w += xi;
+  const real_t w = ctx == nullptr ? blocked_sum(x) : blocked_sum(x, *ctx);
   const real_t per_speed = w / static_cast<real_t>(total_speed);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    if (std::abs(x[i] - per_speed * static_cast<real_t>(s[i])) > tol) {
-      return false;
+
+  const auto within = [&](node_id i0, node_id i1) {
+    for (node_id i = i0; i < i1; ++i) {
+      const std::size_t idx = static_cast<size_t>(i);
+      if (std::abs(x[idx] - per_speed * static_cast<real_t>(s[idx])) > tol) {
+        return 0;
+      }
     }
+    return 1;
+  };
+  if (ctx == nullptr) {
+    return within(0, static_cast<node_id>(x.size())) != 0;
+  }
+  const shard_plan& plan = ctx->plan;
+  std::vector<int> ok(plan.num_shards(), 0);
+  ctx->for_each_shard([&](std::size_t sh_i) {
+    ok[sh_i] = within(plan.node_begin(sh_i), plan.node_end(sh_i));
+  });
+  for (const int flag : ok) {
+    if (flag == 0) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool is_balanced(const continuous_process& a, real_t tol) {
+  const std::shared_ptr<const shard_context> ctx = sharding_of(a);
+  return balanced_against(a, total_speed_of(a.speeds(), ctx.get()), tol,
+                          ctx.get());
 }
 
 balancing_time_result measure_balancing_time(continuous_process& a,
@@ -37,8 +96,11 @@ balancing_time_result measure_balancing_time(continuous_process& a,
                                              round_t cap) {
   DLB_EXPECTS(cap >= 0);
   a.reset(std::vector<real_t>(x0));
+  // Speeds never change across the probe loop; sum them once, not per round.
+  const std::shared_ptr<const shard_context> ctx = sharding_of(a);
+  const weight_t total_speed = total_speed_of(a.speeds(), ctx.get());
   balancing_time_result r;
-  while (!is_balanced(a)) {
+  while (!balanced_against(a, total_speed, balanced_tolerance, ctx.get())) {
     if (a.rounds_executed() >= cap) {
       r.rounds = cap;
       r.converged = false;
@@ -86,7 +148,11 @@ dynamic_result run_dynamic(discrete_process& d,
     }
   }
   r.mean_max_min = samples > 0 ? sum / static_cast<real_t>(samples) : 0;
-  r.final_max_min = max_min_discrepancy(d.real_loads(), d.speeds());
+  // round_discrepancy equals the real_loads() scan exactly and skips the
+  // O(n) vector materialization when the process steps sharded — the same
+  // path the per-round samples above take (uniform across run_dynamic,
+  // run_async, and run_experiment's probe).
+  r.final_max_min = round_discrepancy(d);
   return r;
 }
 

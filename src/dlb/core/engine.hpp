@@ -22,13 +22,20 @@ struct balancing_time_result {
   bool negative_load = false;  ///< Definition 1 violated along the way
 };
 
-/// Runs `a` (reset to x0) until every node is within 1 of its balanced load,
-/// or `cap` rounds elapse. Returns T^A and whether A induced negative load.
+/// The paper's T^A membership tolerance: balanced means every node within 1
+/// of its share (§3). One constant shared by is_balanced's default and the
+/// measure_balancing_time probe loop, so the two can never drift apart.
+inline constexpr real_t balanced_tolerance = 1.0;
+
+/// Runs `a` (reset to x0) until every node is within balanced_tolerance of
+/// its balanced load, or `cap` rounds elapse. Returns T^A and whether A
+/// induced negative load.
 [[nodiscard]] balancing_time_result measure_balancing_time(
     continuous_process& a, const std::vector<real_t>& x0, round_t cap);
 
 /// True iff every node of `a` is within `tol` of its balanced share.
-[[nodiscard]] bool is_balanced(const continuous_process& a, real_t tol = 1.0);
+[[nodiscard]] bool is_balanced(const continuous_process& a,
+                               real_t tol = balanced_tolerance);
 
 /// Max-min discrepancy of `d`'s current real loads. Uses the parallel
 /// per-shard min/max reduction when `d` steps sharded (the sequential

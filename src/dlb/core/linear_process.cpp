@@ -132,7 +132,7 @@ void linear_process::flow_phase(edge_id e0, edge_id e1) {
 // (the adjacency build order), which is exactly the contribution order the
 // sequential per-edge loop applies to that node's accumulator — so the
 // floating-point result is bit-identical for any node partition.
-bool linear_process::node_phase(node_id i0, node_id i1) {
+bool linear_process::apply_phase(node_id i0, node_id i1) {
   const graph& g = *g_;
   bool negative = false;
   for (node_id i = i0; i < i1; ++i) {
@@ -165,32 +165,15 @@ void linear_process::step() {
   }
   y_next_.resize(static_cast<size_t>(g.num_edges()));
 
-  if (shard_ == nullptr) {
-    flow_phase(0, g.num_edges());
-    if (node_phase(0, g.num_nodes())) negative_load_ = true;
-  } else {
-    const shard_plan& plan = shard_->plan;
-    shard_->for_each_shard(
-        [&](std::size_t s) { flow_phase(plan.edge_begin(s), plan.edge_end(s)); });
-    std::vector<char> negative(plan.num_shards(), 0);
-    shard_->for_each_shard([&](std::size_t s) {
-      negative[s] = node_phase(plan.node_begin(s), plan.node_end(s)) ? 1 : 0;
-    });
-    for (const char flag : negative) {
-      if (flag) negative_load_ = true;
-    }
-  }
+  edge_phase([&](edge_id e0, edge_id e1) { flow_phase(e0, e1); });
+  const int negative = node_phase_reduce<int>(
+      0,
+      [&](node_id i0, node_id i1) { return apply_phase(i0, i1) ? 1 : 0; },
+      [](int a, int b) { return a | b; });
+  if (negative != 0) negative_load_ = true;
 
   y_prev_.swap(y_next_);
   ++t_;
-}
-
-void linear_process::enable_sharded_stepping(
-    std::shared_ptr<const shard_context> ctx) {
-  DLB_EXPECTS(ctx != nullptr);
-  DLB_EXPECTS(ctx->plan.num_nodes() == g_->num_nodes());
-  DLB_EXPECTS(ctx->plan.num_edges() == g_->num_edges());
-  shard_ = std::move(ctx);
 }
 
 void linear_process::real_load_extrema(node_id begin, node_id end, real_t& lo,

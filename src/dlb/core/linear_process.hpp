@@ -85,10 +85,12 @@ class random_matching_schedule final : public alpha_schedule {
 /// (Lemma 1). β = 1 gives first-order behaviour; β in (1, 2] gives SOS.
 ///
 /// Steps in two phases — compute flows (per edge), then apply them (per
-/// node, incident edges in ascending id order) — so the round can be sharded
-/// over a thread pool via `enable_sharded_stepping` with bit-identical
-/// results at any shard count (see core/sharding.hpp).
-class linear_process final : public continuous_process, public shardable {
+/// node, incident edges in ascending id order) — through the shared
+/// `sharded_stepper` protocol, so the round can be sharded over a thread
+/// pool via `enable_sharded_stepping` with bit-identical results at any
+/// shard count (see core/sharding.hpp).
+class linear_process final : public continuous_process,
+                             public sharded_stepper {
  public:
   linear_process(std::shared_ptr<const graph> g, speed_vector s,
                  std::unique_ptr<alpha_schedule> schedule, real_t beta,
@@ -119,20 +121,17 @@ class linear_process final : public continuous_process, public shardable {
   [[nodiscard]] const alpha_schedule& schedule() const { return *schedule_; }
 
   // shardable:
-  void enable_sharded_stepping(
-      std::shared_ptr<const shard_context> ctx) override;
-  [[nodiscard]] std::shared_ptr<const shard_context> sharding()
-      const override {
-    return shard_;
-  }
   void real_load_extrema(node_id begin, node_id end, real_t& lo,
                          real_t& hi) const override;
 
+ protected:
+  [[nodiscard]] const graph& shard_topology() const override { return *g_; }
+
  private:
   // One round's phases; [e0, e1) / [i0, i1) are one shard's ranges. The
-  // node phase returns whether the shard saw a Definition-1 violation.
+  // apply phase returns whether the shard saw a Definition-1 violation.
   void flow_phase(edge_id e0, edge_id e1);
-  [[nodiscard]] bool node_phase(node_id i0, node_id i1);
+  [[nodiscard]] bool apply_phase(node_id i0, node_id i1);
   std::shared_ptr<const graph> g_;
   speed_vector s_;
   std::unique_ptr<alpha_schedule> schedule_;
@@ -148,7 +147,6 @@ class linear_process final : public continuous_process, public shardable {
   std::vector<real_t> alpha_buf_;
   bool alphas_cached_ = false;  // alpha_buf_ valid for every round (diffusion)
   std::vector<directed_flow> y_next_;  // this round's flows (reused buffer)
-  std::shared_ptr<const shard_context> shard_;  // null → sequential stepping
 };
 
 // ---- Factory helpers (the concrete processes of the paper) ----------------

@@ -1,26 +1,123 @@
 #include "dlb/core/sharding.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "dlb/common/contracts.hpp"
 
 namespace dlb {
 
-shard_plan::shard_plan(const graph& g, std::size_t num_shards)
-    : n_(g.num_nodes()), m_(g.num_edges()) {
+namespace {
+
+// Block length of blocked_sum. Small enough that one probe round exposes
+// plenty of blocks to 8 shards at n ≈ 10^5, large enough that the per-block
+// fold overhead vanishes; vectors up to this length sum strictly
+// left-to-right, so every pre-existing small-grid result is bit-unchanged.
+constexpr std::size_t sum_block = 4096;
+
+real_t sum_range(const std::vector<real_t>& x, std::size_t lo,
+                 std::size_t hi) {
+  real_t acc = 0;
+  for (std::size_t i = lo; i < hi; ++i) acc += x[i];
+  return acc;
+}
+
+}  // namespace
+
+shard_plan::shard_plan(const graph& g, std::size_t num_shards,
+                       shard_balance balance)
+    : n_(g.num_nodes()), m_(g.num_edges()), balance_(balance) {
   DLB_EXPECTS(num_shards >= 1);
-  // No empty node shards: the metric reduction folds one extremum per shard,
-  // and an empty range would contribute its sentinel.
-  const std::size_t shards =
-      std::min<std::size_t>(num_shards, static_cast<std::size_t>(n_));
+  // No node-empty shards: the metric reduction folds one extremum per shard,
+  // and an empty range would contribute its sentinel. Edgeless graphs and
+  // num_shards > m are fine — edge ranges may be empty, the barrier still
+  // covers every shard — but the shard count itself is clamped to n (and
+  // stays >= 1 so a plan always has at least one shard to run phases on).
+  const std::size_t shards = std::max<std::size_t>(
+      1, std::min<std::size_t>(num_shards, static_cast<std::size_t>(n_)));
   node_cut_.resize(shards + 1);
   edge_cut_.resize(shards + 1);
   for (std::size_t s = 0; s <= shards; ++s) {
-    node_cut_[s] = static_cast<node_id>(
-        static_cast<std::size_t>(n_) * s / shards);
     edge_cut_[s] = static_cast<edge_id>(
         static_cast<std::size_t>(m_) * s / shards);
   }
+  if (balance == shard_balance::node_count || m_ == 0) {
+    for (std::size_t s = 0; s <= shards; ++s) {
+      node_cut_[s] = static_cast<node_id>(
+          static_cast<std::size_t>(n_) * s / shards);
+    }
+    return;
+  }
+  // Degree-weighted cut: place boundary s at the first node whose incident-
+  // degree prefix reaches s/shards of the total (2m), clamped so every shard
+  // keeps at least one node and enough nodes remain for the shards after it.
+  node_cut_[0] = 0;
+  node_cut_[shards] = n_;
+  const std::size_t total_degree = 2 * static_cast<std::size_t>(m_);
+  node_id j = 0;            // next uncut node
+  std::size_t prefix = 0;   // sum of degrees of nodes < j
+  for (std::size_t s = 1; s < shards; ++s) {
+    const std::size_t target = total_degree * s / shards;
+    const node_id lo = node_cut_[s - 1] + 1;
+    const node_id hi =
+        n_ - static_cast<node_id>(shards - s);  // leave 1 node per later shard
+    while (j < n_ && prefix < target) {
+      prefix += static_cast<std::size_t>(g.degree(j));
+      ++j;
+    }
+    const node_id cut = std::clamp(j, lo, hi);
+    // Re-anchor (j, prefix) if clamping moved the boundary, so the next
+    // iteration's prefix stays the sum of degrees of nodes < j.
+    while (j < cut) {
+      prefix += static_cast<std::size_t>(g.degree(j));
+      ++j;
+    }
+    while (j > cut) {
+      --j;
+      prefix -= static_cast<std::size_t>(g.degree(j));
+    }
+    node_cut_[s] = cut;
+  }
+}
+
+shard_balance parse_shard_balance(const std::string& name) {
+  if (name == "nodes") return shard_balance::node_count;
+  if (name == "edges") return shard_balance::incident_edges;
+  throw contract_violation("unknown shard balance: " + name +
+                           " (expected nodes or edges)");
+}
+
+void sharded_stepper::enable_sharded_stepping(
+    std::shared_ptr<const shard_context> ctx) {
+  DLB_EXPECTS(ctx != nullptr);
+  DLB_EXPECTS(ctx->plan.num_nodes() == shard_topology().num_nodes());
+  DLB_EXPECTS(ctx->plan.num_edges() == shard_topology().num_edges());
+  shard_ = ctx;
+  on_sharding_enabled(shard_);
+}
+
+void sharded_stepper::edge_phase(
+    const std::function<void(edge_id, edge_id)>& body) const {
+  if (shard_ == nullptr) {
+    body(0, shard_topology().num_edges());
+    return;
+  }
+  const shard_plan& plan = shard_->plan;
+  shard_->for_each_shard([&](std::size_t s) {
+    body(plan.edge_begin(s), plan.edge_end(s));
+  });
+}
+
+void sharded_stepper::node_phase(
+    const std::function<void(node_id, node_id)>& body) const {
+  if (shard_ == nullptr) {
+    body(0, shard_topology().num_nodes());
+    return;
+  }
+  const shard_plan& plan = shard_->plan;
+  shard_->for_each_shard([&](std::size_t s) {
+    body(plan.node_begin(s), plan.node_end(s));
+  });
 }
 
 real_t sharded_max_min_discrepancy(const shardable& sh) {
@@ -40,6 +137,59 @@ real_t sharded_max_min_discrepancy(const shardable& sh) {
     max_span = std::max(max_span, hi[s]);
   }
   return max_span - min_span;
+}
+
+void per_speed_extrema(const std::vector<weight_t>& loads,
+                       const std::vector<weight_t>& speeds, node_id begin,
+                       node_id end, real_t& lo, real_t& hi) {
+  for (node_id i = begin; i < end; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    const real_t per_speed =
+        static_cast<real_t>(loads[idx]) / static_cast<real_t>(speeds[idx]);
+    lo = std::min(lo, per_speed);
+    hi = std::max(hi, per_speed);
+  }
+}
+
+weight_t signed_edge_inflow(const graph& g,
+                            const std::vector<weight_t>& edge_sent,
+                            node_id i) {
+  weight_t delta = 0;
+  for (const incidence& inc : g.neighbors(i)) {
+    const weight_t sent = edge_sent[static_cast<std::size_t>(inc.edge)];
+    delta += inc.neighbor > i ? -sent : sent;
+  }
+  return delta;
+}
+
+real_t blocked_sum(const std::vector<real_t>& x) {
+  const std::size_t blocks = (x.size() + sum_block - 1) / sum_block;
+  real_t acc = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    acc += sum_range(x, b * sum_block,
+                     std::min(x.size(), (b + 1) * sum_block));
+  }
+  return acc;
+}
+
+real_t blocked_sum(const std::vector<real_t>& x, const shard_context& ctx) {
+  const std::size_t blocks = (x.size() + sum_block - 1) / sum_block;
+  if (blocks <= 1) return blocked_sum(x);
+  // Shards own contiguous *block* ranges (not plan node ranges — block
+  // boundaries must be independent of the cut so the grouping never moves).
+  const std::size_t shards = ctx.plan.num_shards();
+  std::vector<real_t> partial(blocks, 0);
+  ctx.for_each_shard([&](std::size_t s) {
+    const std::size_t b0 = blocks * s / shards;
+    const std::size_t b1 = blocks * (s + 1) / shards;
+    for (std::size_t b = b0; b < b1; ++b) {
+      partial[b] = sum_range(x, b * sum_block,
+                             std::min(x.size(), (b + 1) * sum_block));
+    }
+  });
+  real_t acc = 0;
+  for (const real_t p : partial) acc += p;
+  return acc;
 }
 
 }  // namespace dlb

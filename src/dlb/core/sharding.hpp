@@ -8,22 +8,34 @@
 // (typically a dlb::runtime::thread_pool) that executes one body per shard
 // and blocks until all shards finish — the barrier.
 //
+// `sharded_stepper` is the shared protocol every process in the repo steps
+// through: derived classes express their round as edge_phase()/node_phase()
+// calls (plus node_phase_reduce for order-independent per-shard folds), and
+// the base runs them over the full range when sequential or one slice per
+// shard when a context is installed — same bits either way.
+//
 // Determinism contract (docs/ARCHITECTURE.md, "Sharded stepping"): a sharded
 // step must be *bit-identical* to the sequential step for any shard count.
 // The phase decomposition guarantees this because
 //  * per-edge quantities (flows, cumulative-flow updates, deficits) are pure
-//    functions of the pre-round state, and
+//    functions of the pre-round state,
 //  * per-node accumulators (load updates, outgoing sums, task pools) receive
 //    their contributions in ascending incident-edge order — exactly the order
 //    the sequential edge loop applies them, because graph adjacency lists are
-//    built in ascending edge-id order.
+//    built in ascending edge-id order, and
+//  * randomized per-entity decisions draw from counter-based RNG streams
+//    (common/rng.hpp counter_rng), pure functions of (seed, entity, round),
+//    never from a shared sequential engine.
 // No floating-point sum is ever regrouped across shards; integer reductions
 // (dummy counters) and min/max reductions (discrepancy extrema) are
-// order-independent by construction.
+// order-independent by construction, and the one floating-point total the
+// engine needs (the is_balanced load sum) goes through `blocked_sum`, whose
+// grouping is a pure function of the vector length — never the shard count.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "dlb/common/types.hpp"
@@ -37,20 +49,34 @@ namespace dlb {
 using shard_runner = std::function<void(
     std::size_t count, const std::function<void(std::size_t)>& body)>;
 
+/// What a shard_plan balances when cutting the node ranges.
+enum class shard_balance {
+  node_count,      ///< equal node counts per shard (the default)
+  incident_edges,  ///< equal incident-edge work per shard — the right cut
+                   ///< for skewed degree distributions (stars, rings of
+                   ///< cliques), where a count-balanced cut leaves one shard
+                   ///< holding most of the per-node edge folds
+};
+
 /// Contiguous partition of one graph's nodes and edges into shards. Node and
 /// edge ranges are cut independently (per-edge phases are pure, so edge work
-/// need not align with node ownership); both are balanced by count. The
-/// requested shard count is clamped so no shard is empty.
+/// need not align with node ownership); edge ranges are always balanced by
+/// count (per-edge work is uniform), node ranges by `balance`. The requested
+/// shard count is clamped so no shard is node-empty; edge ranges may be
+/// empty (a graph can have fewer edges than shards, or none at all) — empty
+/// ranges still participate in every phase barrier, they just do no work.
 class shard_plan {
  public:
   shard_plan() = default;
-  shard_plan(const graph& g, std::size_t num_shards);
+  shard_plan(const graph& g, std::size_t num_shards,
+             shard_balance balance = shard_balance::node_count);
 
   [[nodiscard]] std::size_t num_shards() const noexcept {
     return node_cut_.empty() ? 0 : node_cut_.size() - 1;
   }
   [[nodiscard]] node_id num_nodes() const noexcept { return n_; }
   [[nodiscard]] edge_id num_edges() const noexcept { return m_; }
+  [[nodiscard]] shard_balance balance() const noexcept { return balance_; }
 
   [[nodiscard]] node_id node_begin(std::size_t s) const { return node_cut_[s]; }
   [[nodiscard]] node_id node_end(std::size_t s) const {
@@ -64,9 +90,14 @@ class shard_plan {
  private:
   node_id n_ = 0;
   edge_id m_ = 0;
+  shard_balance balance_ = shard_balance::node_count;
   std::vector<node_id> node_cut_;  // size num_shards+1, ascending
   std::vector<edge_id> edge_cut_;  // size num_shards+1, ascending
 };
+
+/// Parses "nodes" / "edges" (the `--shard-balance` CLI values); throws
+/// contract_violation on anything else.
+[[nodiscard]] shard_balance parse_shard_balance(const std::string& name);
 
 /// A plan plus the runner that executes its shards. One context is built per
 /// experiment cell (outside the timed engine call) and shared by the discrete
@@ -104,6 +135,70 @@ class shardable {
                                  real_t& hi) const = 0;
 };
 
+/// The shared protocol base: implements the `shardable` plumbing once and
+/// gives derived processes the three phase primitives their step() is built
+/// from. With no context installed every phase runs over the full range on
+/// the calling thread; with one, each phase runs one slice per shard and the
+/// runner's completion is the barrier. Derived classes only have to uphold
+/// the phase purity rules in the header comment above — the "make your
+/// process shardable" guide in docs/ARCHITECTURE.md walks through a port.
+class sharded_stepper : public shardable {
+ public:
+  void enable_sharded_stepping(
+      std::shared_ptr<const shard_context> ctx) final;
+  [[nodiscard]] std::shared_ptr<const shard_context> sharding()
+      const final {
+    return shard_;
+  }
+
+ protected:
+  /// The topology the shard plan must match (checked on enable).
+  [[nodiscard]] virtual const graph& shard_topology() const = 0;
+
+  /// Called after a context is installed — the hook flow imitators use to
+  /// forward the same context to their internal continuous reference.
+  virtual void on_sharding_enabled(
+      const std::shared_ptr<const shard_context>& ctx) {
+    (void)ctx;
+  }
+
+  /// Pure per-edge phase: body(e0, e1) over contiguous edge ranges. The body
+  /// may read any pre-phase state but write only per-edge slots in [e0, e1).
+  void edge_phase(const std::function<void(edge_id, edge_id)>& body) const;
+
+  /// Per-node phase: body(i0, i1) over contiguous node ranges. The body may
+  /// write per-node state of its own nodes and per-(edge, direction) slots
+  /// whose single writer is one of its nodes; per-node accumulators must
+  /// fold incident edges in ascending edge-id order.
+  void node_phase(const std::function<void(node_id, node_id)>& body) const;
+
+  /// Node phase folding one value per shard into an order-independent
+  /// reduction (integer sums, min/max, boolean OR — never a float sum).
+  /// `init` is the fold identity.
+  template <typename T, typename Fold>
+  T node_phase_reduce(T init,
+                      const std::function<T(node_id, node_id)>& body,
+                      Fold fold) const {
+    static_assert(!std::is_same_v<T, bool>,
+                  "use int: vector<bool> bit-packs, and concurrent per-shard "
+                  "writes to one word would race");
+    if (shard_ == nullptr) {
+      return fold(init, body(0, shard_topology().num_nodes()));
+    }
+    const shard_plan& plan = shard_->plan;
+    std::vector<T> parts(plan.num_shards(), init);
+    shard_->for_each_shard([&](std::size_t s) {
+      parts[s] = body(plan.node_begin(s), plan.node_end(s));
+    });
+    T acc = init;
+    for (const T& part : parts) acc = fold(acc, part);
+    return acc;
+  }
+
+ private:
+  std::shared_ptr<const shard_context> shard_;  // null → sequential stepping
+};
+
 /// Enables sharded stepping when the process implements `shardable`; returns
 /// false (leaving the process sequential) otherwise. Works for both
 /// continuous_process and discrete_process.
@@ -122,5 +217,34 @@ bool try_enable_sharding(Process& p,
 /// min/max folds are associative, so the shard grouping cannot change the
 /// result.
 [[nodiscard]] real_t sharded_max_min_discrepancy(const shardable& sh);
+
+/// Folds min/max load-per-speed over nodes [begin, end) into lo/hi — the
+/// shared body of the `real_load_extrema` overrides of processes whose real
+/// loads *are* their load vector (the baselines). Keeping the discrepancy
+/// convention in one place is what keeps the sharded and sequential metrics
+/// bit-equal across every process.
+void per_speed_extrema(const std::vector<weight_t>& loads,
+                       const std::vector<weight_t>& speeds, node_id begin,
+                       node_id end, real_t& lo, real_t& hi);
+
+/// Net inflow of node `i` under a per-edge signed send vector oriented u→v
+/// (+ = u sends v), folding incident edges in ascending edge-id order — the
+/// shared apply-phase body of processes whose round reduces to one signed
+/// integer per edge (round-down diffusion, the rounding baselines). The
+/// direction convention (i is the edge's u iff the neighbor id is larger)
+/// lives here so ports cannot silently flip a sign.
+[[nodiscard]] weight_t signed_edge_inflow(
+    const graph& g, const std::vector<weight_t>& edge_sent, node_id i);
+
+/// Deterministic blocked sum: partial sums over fixed-size blocks of x
+/// (left-to-right within a block), folded in block order. The grouping is a
+/// pure function of x.size() — never of the shard count — so the sequential
+/// overload and the sharded overload return *identical bits*, and vectors
+/// shorter than one block reproduce the plain left-to-right sum exactly.
+/// This is the one floating-point total the engine parallelizes (the
+/// is_balanced load sum at n ≈ 10^6 per probe round).
+[[nodiscard]] real_t blocked_sum(const std::vector<real_t>& x);
+[[nodiscard]] real_t blocked_sum(const std::vector<real_t>& x,
+                                 const shard_context& ctx);
 
 }  // namespace dlb

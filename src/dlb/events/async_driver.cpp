@@ -4,6 +4,7 @@
 
 #include "dlb/common/contracts.hpp"
 #include "dlb/core/metrics.hpp"
+#include "dlb/core/sharding.hpp"
 
 namespace dlb::events {
 
@@ -96,8 +97,17 @@ async_result run_async(discrete_process& d,
   r.time_weighted_mean_max_min =
       weight_total > 0 ? weighted_sum / weight_total : 0;
 
+  // The loads vector is materialized once for the depth percentiles (which
+  // need the sorted distribution anyway); the final discrepancy reuses it
+  // when the process steps sequentially and takes the shard-exact reduction
+  // otherwise — both equal round_discrepancy's value bit-for-bit.
   std::vector<weight_t> loads = d.real_loads();
-  r.final_max_min = max_min_discrepancy(loads, d.speeds());
+  if (const auto* sh = dynamic_cast<const shardable*>(&d);
+      sh != nullptr && sh->sharding() != nullptr) {
+    r.final_max_min = sharded_max_min_discrepancy(*sh);
+  } else {
+    r.final_max_min = max_min_discrepancy(loads, d.speeds());
+  }
   std::sort(loads.begin(), loads.end());
   r.depth_p50 = percentile(loads, 0.50);
   r.depth_p90 = percentile(loads, 0.90);

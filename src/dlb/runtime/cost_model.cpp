@@ -1,0 +1,71 @@
+#include "dlb/runtime/cost_model.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::runtime {
+
+namespace {
+
+std::string key_of(const std::string& grid, const std::string& scenario,
+                   const std::string& process) {
+  std::string key;
+  key.reserve(grid.size() + scenario.size() + process.size() + 2);
+  key += grid;
+  key += '\x1f';
+  key += scenario;
+  key += '\x1f';
+  key += process;
+  return key;
+}
+
+}  // namespace
+
+cost_model::cost_model(const std::vector<result_row>& rows) {
+  struct accum {
+    std::uint64_t total = 0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, accum> exact;
+  std::map<std::string, accum> any_grid;
+  for (const result_row& row : rows) {
+    if (row.wall_ns <= 0) continue;
+    const std::uint64_t ns = static_cast<std::uint64_t>(row.wall_ns);
+    accum& e = exact[key_of(row.grid, row.scenario, row.process)];
+    e.total += ns;
+    ++e.count;
+    accum& a = any_grid[key_of("", row.scenario, row.process)];
+    a.total += ns;
+    ++a.count;
+  }
+  for (auto& [key, a] : exact) mean_ns_[key] = a.total / a.count;
+  for (auto& [key, a] : any_grid) mean_ns_any_grid_[key] = a.total / a.count;
+}
+
+cost_model cost_model::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw contract_violation("cannot open cost baseline: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return cost_model(parse_json(text.str()));
+}
+
+std::uint64_t cost_model::lookup(const std::string& grid,
+                                 const std::string& scenario,
+                                 const std::string& process) const {
+  if (const auto it = mean_ns_.find(key_of(grid, scenario, process));
+      it != mean_ns_.end()) {
+    return it->second;
+  }
+  // BENCH batches suffix their grid names; the (scenario, process) pair
+  // still identifies the cell's cost shape, so fall back across grids.
+  const auto it = mean_ns_any_grid_.find(key_of("", scenario, process));
+  return it == mean_ns_any_grid_.end() ? 0 : it->second;
+}
+
+}  // namespace dlb::runtime

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <iterator>
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "dlb/common/contracts.hpp"
 #include "dlb/common/rng.hpp"
@@ -55,13 +57,14 @@ std::unique_ptr<events::trace_source> make_cell_trace(const grid_spec& spec,
   return trace;
 }
 
-shard_rig make_shard_rig(const graph& g, unsigned shard_threads) {
+shard_rig make_shard_rig(const graph& g, unsigned shard_threads,
+                         shard_balance balance) {
   shard_rig rig;
   if (shard_threads <= 1) return rig;
   rig.pool = std::make_unique<thread_pool>(shard_threads);
   thread_pool* pool = rig.pool.get();
   rig.ctx = std::make_shared<const shard_context>(shard_context{
-      shard_plan(g, shard_threads),
+      shard_plan(g, shard_threads, balance),
       [pool](std::size_t count,
              const std::function<void(std::size_t)>& body) {
         pool->parallel_for_each(count, body);
@@ -91,10 +94,19 @@ std::vector<grid_cell> expand_grid(const grid_spec& spec,
   constexpr std::uint64_t traffic_stream = 0x74726166666963ULL;  // "traffic"
   const std::uint64_t traffic_root = derive_seed(master_seed, traffic_stream);
   std::vector<grid_cell> cells;
+  std::vector<std::uint64_t> analytic;  // per cell, parallel to `cells`
   std::uint64_t index = 0;
   const auto push = [&](std::size_t g, std::size_t p) {
     const int reps = spec.processes[p].randomized ? spec.repeats : 1;
-    const std::uint64_t cost =
+    // Measured wall_ns from the cost model when the baseline has this
+    // (grid, scenario, process); the analytic n × rounds guess otherwise —
+    // rescaled after expansion so the two scales rank together.
+    const std::uint64_t measured =
+        spec.cost_hints != nullptr
+            ? spec.cost_hints->lookup(spec.name, spec.graphs[g].name,
+                                      spec.processes[p].name)
+            : 0;
+    const std::uint64_t analytic_cost =
         static_cast<std::uint64_t>(spec.graphs[g].g->num_nodes()) *
         expected_rounds;
     for (int r = 0; r < reps; ++r) {
@@ -105,8 +117,37 @@ std::vector<grid_cell> expand_grid(const grid_spec& spec,
           static_cast<std::uint64_t>(g) * 0x10000ULL +
               static_cast<std::uint64_t>(r));
       cells.push_back(
-          {index, g, p, r, derive_seed(master_seed, index), traffic, cost});
+          {index, g, p, r, derive_seed(master_seed, index), traffic,
+           measured});
+      analytic.push_back(analytic_cost);
       ++index;
+    }
+  };
+  // Measured wall_ns and analytic n × rounds live on different scales; a
+  // raw mix would rank every measured cell (ns magnitudes) above every
+  // unmeasured one regardless of real cost. Calibrate: rescale unmeasured
+  // cells' analytic estimates by the mean ns-per-analytic-unit of the
+  // covered cells, so a partial baseline sharpens the longest-first order
+  // instead of inverting it. With no hints (or nothing covered) everything
+  // keeps the plain analytic estimate.
+  const auto calibrate = [&]() {
+    double measured_sum = 0;
+    double analytic_of_measured = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].cost_estimate > 0) {
+        measured_sum += static_cast<double>(cells[i].cost_estimate);
+        analytic_of_measured += static_cast<double>(analytic[i]);
+      }
+    }
+    const double ratio = measured_sum > 0 && analytic_of_measured > 0
+                             ? measured_sum / analytic_of_measured
+                             : 1.0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].cost_estimate == 0) {
+        cells[i].cost_estimate = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(analytic[i]) * ratio));
+      }
     }
   };
   if (!spec.pairs.empty()) {
@@ -114,6 +155,7 @@ std::vector<grid_cell> expand_grid(const grid_spec& spec,
       DLB_EXPECTS(g < spec.graphs.size() && p < spec.processes.size());
       push(g, p);
     }
+    calibrate();
     return cells;
   }
   for (std::size_t g = 0; g < spec.graphs.size(); ++g) {
@@ -121,6 +163,7 @@ std::vector<grid_cell> expand_grid(const grid_spec& spec,
       push(g, p);
     }
   }
+  calibrate();
   return cells;
 }
 
@@ -158,7 +201,8 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
     row.wall_ns = timer.elapsed_ns();
     return result;
   };
-  const shard_rig rig = make_shard_rig(*gc.g, spec.shard_threads);
+  const shard_rig rig =
+      make_shard_rig(*gc.g, spec.shard_threads, spec.cut_balance);
   auto d = comp.build(gc.g, s, tokens, spec.comm_model, cell.seed);
   if (rig.ctx != nullptr) try_enable_sharding(*d, rig.ctx);
   if (spec.kind == grid_kind::static_balancing) {
@@ -256,39 +300,84 @@ analysis::ascii_table render_view(const grid_spec& spec,
   return analysis::pivot("process", discrepancy_cells(rows));
 }
 
+namespace {
+
+/// Shared grid prologue: resolve the trace prototype (parse the file once —
+/// cells take O(1) copies), expand the cells, and compute the longest-first
+/// submission order. The pool hands out indices in order, so sorting by
+/// descending cost estimate keeps the most expensive cells from landing
+/// last and stretching the tail. Ties (and static grids without cost hints,
+/// whose estimate is just n) fall back to cell order; the order is pure
+/// scheduling — both drivers below restore canonical cell order in their
+/// output.
+struct grid_run_setup {
+  const grid_spec* active;
+  grid_spec with_trace;  // storage when a trace prototype had to be parsed
+  std::vector<grid_cell> cells;
+  std::vector<std::size_t> order;
+};
+
+grid_run_setup prepare_grid_run(const grid_spec& spec,
+                                std::uint64_t master_seed) {
+  grid_run_setup setup;
+  setup.active = &spec;
+  if (spec.kind == grid_kind::async_events && !spec.trace_path.empty() &&
+      spec.trace_proto == nullptr) {
+    setup.with_trace = spec;
+    setup.with_trace.trace_proto =
+        std::shared_ptr<const events::trace_source>(
+            events::load_trace(spec.trace_path));
+    setup.active = &setup.with_trace;
+  }
+  setup.cells = expand_grid(*setup.active, master_seed);
+  setup.order.resize(setup.cells.size());
+  for (std::size_t i = 0; i < setup.order.size(); ++i) setup.order[i] = i;
+  std::stable_sort(setup.order.begin(), setup.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return setup.cells[a].cost_estimate >
+                            setup.cells[b].cost_estimate;
+                   });
+  return setup;
+}
+
+}  // namespace
+
 std::vector<result_row> run_grid(const grid_spec& spec,
                                  std::uint64_t master_seed,
                                  thread_pool& pool) {
-  // Parse a trace file once up front instead of per cell — the cells take
-  // O(1) copies of the prototype. Validation against each scenario's node
-  // count still happens per cell (grids mix graph families whose n differs).
-  const grid_spec* active = &spec;
-  grid_spec with_trace;
-  if (spec.kind == grid_kind::async_events && !spec.trace_path.empty() &&
-      spec.trace_proto == nullptr) {
-    with_trace = spec;
-    with_trace.trace_proto = std::shared_ptr<const events::trace_source>(
-        events::load_trace(spec.trace_path));
-    active = &with_trace;
-  }
-  const std::vector<grid_cell> cells = expand_grid(*active, master_seed);
-  // Longest-first submission: the pool hands out indices in order, so
-  // sorting by descending cost estimate keeps the most expensive cells from
-  // landing last and stretching the tail. Ties (and static grids, whose
-  // estimate is just n) fall back to cell order; rows are re-sorted by cell
-  // index afterwards, so this is invisible in the output.
-  std::vector<std::size_t> order(cells.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return cells[a].cost_estimate > cells[b].cost_estimate;
-                   });
+  const grid_run_setup setup = prepare_grid_run(spec, master_seed);
   result_sink sink;
-  pool.parallel_for_each(cells.size(), [&](std::size_t i) {
-    sink.add(run_cell(*active, cells[order[i]]));
+  pool.parallel_for_each(setup.cells.size(), [&](std::size_t i) {
+    sink.add(run_cell(*setup.active, setup.cells[setup.order[i]]));
   });
-  DLB_ENSURES(sink.size() == cells.size());
+  DLB_ENSURES(sink.size() == setup.cells.size());
   return sink.take_rows();
+}
+
+std::uint64_t run_grid_streaming(
+    const grid_spec& spec, std::uint64_t master_seed, thread_pool& pool,
+    const std::function<void(const result_row&)>& emit) {
+  DLB_EXPECTS(emit != nullptr);
+  const grid_run_setup setup = prepare_grid_run(spec, master_seed);
+  // Reorder buffer: cells finish in scheduler order, rows leave in cell
+  // order. A finished cell parks its row until every earlier cell has been
+  // emitted, so memory holds only the out-of-order window — not the grid.
+  std::mutex mutex;
+  std::map<std::uint64_t, result_row> pending;
+  std::uint64_t next = 0;
+  pool.parallel_for_each(setup.cells.size(), [&](std::size_t i) {
+    result_row row = run_cell(*setup.active, setup.cells[setup.order[i]]);
+    const std::lock_guard<std::mutex> lock(mutex);
+    pending.emplace(row.cell, std::move(row));
+    for (auto it = pending.find(next); it != pending.end();
+         it = pending.find(next)) {
+      emit(it->second);
+      pending.erase(it);
+      ++next;
+    }
+  });
+  DLB_ENSURES(pending.empty() && next == setup.cells.size());
+  return next;
 }
 
 }  // namespace dlb::runtime

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "dlb/common/types.hpp"
+#include "dlb/core/sharding.hpp"
+#include "dlb/runtime/cost_model.hpp"
 #include "dlb/runtime/result_sink.hpp"
 #include "dlb/runtime/thread_pool.hpp"
 #include "dlb/workload/competitors.hpp"
@@ -70,11 +72,27 @@ struct grid_spec {
   /// Intra-cell parallelism: threads stepping a single graph's shards
   /// (core/sharding.hpp). 1 = sequential stepping. When > 1, run_cell builds
   /// a per-cell shard pool + plan (outside the timed engine call) and
-  /// enables sharded stepping on processes that support it; rows stay
-  /// byte-identical for any value — sharding is an execution strategy, not a
-  /// model change. Meant for huge-graph grids whose cell count is small;
-  /// standard grids keep 1 and parallelize across cells instead.
+  /// enables sharded stepping — every competitor and the T^A probe step
+  /// through the shared protocol, so rows stay byte-identical for any value:
+  /// sharding is an execution strategy, not a model change. Every
+  /// engine-driven named grid forwards `--shard-threads` here; the knob is
+  /// meant for huge-graph grids whose cell count is small. On wide grids it
+  /// multiplies with the cell pool (each in-flight cell owns its own
+  /// shard-thread pool), so combining a large `--threads` with a large
+  /// `--shard-threads` oversubscribes cores — pick one axis.
   unsigned shard_threads = 1;
+
+  /// What the shard plan's node cut balances (`--shard-balance`): node
+  /// counts (default) or incident-edge work — the right cut for skewed
+  /// degree distributions. Like shard_threads, a pure execution knob: rows
+  /// are byte-identical for either value.
+  shard_balance cut_balance = shard_balance::node_count;
+
+  /// Measured cost hints (`--cost-baseline`): when set, expand_grid stamps
+  /// cells whose (grid, scenario, process) appears in the model with its
+  /// mean measured wall_ns instead of the analytic n × rounds estimate.
+  /// Pure scheduling — output bytes unchanged.
+  std::shared_ptr<const cost_model> cost_hints;
 
   /// Explicit (graph_index, process_index) cell list. Empty means the full
   /// graphs × processes cross product; study grids whose process variants
@@ -161,6 +179,18 @@ struct grid_cell {
 [[nodiscard]] std::vector<result_row> run_grid(const grid_spec& spec,
                                                std::uint64_t master_seed,
                                                thread_pool& pool);
+
+/// Streaming variant: executes the grid without materializing it — `emit`
+/// receives each row in canonical cell order as soon as every earlier cell
+/// has finished (out-of-order completions wait in a bounded reorder buffer).
+/// The emitted sequence is exactly run_grid's returned vector, so feeding
+/// `emit` into a row_writer reproduces the buffered output byte-for-byte
+/// while holding only the out-of-order window in memory. Returns the number
+/// of rows emitted. `emit` is called from worker threads, one call at a
+/// time (serialized by the reorder lock).
+std::uint64_t run_grid_streaming(
+    const grid_spec& spec, std::uint64_t master_seed, thread_pool& pool,
+    const std::function<void(const result_row&)>& emit);
 
 /// Pivots rows into the grid's declared table shape (spec.view) — the table
 /// `dlb_run --table` and the bench wrappers print.

@@ -111,6 +111,11 @@ grid_spec base_spec(const grid_options& opts, std::uint64_t master_seed,
   spec.processes = workload::standard_competitors(diffusion_competitors);
   spec.repeats = opts.repeats;
   spec.spike_per_node = opts.spike_per_node;
+  // Sharded stepping is uniform across the engine-driven grids: every
+  // competitor (and the T^A probe) steps through the shared protocol, so
+  // any grid can take --shard-threads with byte-identical rows.
+  spec.shard_threads = opts.shard_threads;
+  spec.cut_balance = opts.shard_cut;
   return spec;
 }
 
@@ -176,7 +181,6 @@ grid_spec async_poisson_grid(const grid_options& opts, std::uint64_t master) {
   spec.dynamic_rounds = opts.dynamic_rounds;
   spec.arrival_rate = opts.arrival_rate;
   spec.trace_path = opts.trace_path;
-  spec.shard_threads = opts.shard_threads;
   return spec;
 }
 
@@ -196,7 +200,6 @@ grid_spec async_service_grid(const grid_options& opts, std::uint64_t master) {
   spec.arrival_rate = opts.arrival_rate;
   spec.service_rate = opts.service_rate;
   spec.trace_path = opts.trace_path;
-  spec.shard_threads = opts.shard_threads;
   return spec;
 }
 
@@ -211,6 +214,8 @@ grid_spec scaling_n_grid(const grid_options& opts, std::uint64_t master) {
   spec.processes = workload::standard_competitors(true);
   spec.repeats = opts.repeats;
   spec.spike_per_node = opts.spike_per_node;
+  spec.shard_threads = opts.shard_threads;
+  spec.cut_balance = opts.shard_cut;
   const std::uint64_t gseed = derive_seed(master, graph_seed_stream);
   for (const char* family : {"arbitrary", "expander", "hypercube", "torus"}) {
     std::string last;
@@ -238,6 +243,8 @@ grid_spec scaling_d_grid(const grid_options& opts, std::uint64_t /*master*/) {
       true, {"round-down", "Alg1", "Alg2"});
   spec.repeats = opts.repeats;
   spec.spike_per_node = opts.spike_per_node;
+  spec.shard_threads = opts.shard_threads;
+  spec.cut_balance = opts.shard_cut;
   const int max_dim = std::max(3, hypercube_dim(opts.target_n));
   for (int dim = 3; dim <= max_dim; ++dim) {
     spec.graphs.push_back(
@@ -788,16 +795,17 @@ grid_spec ablation_grid(const grid_options& opts, std::uint64_t master) {
 // ----------------------------------------------------- huge-uniform grid
 
 // Sharded huge-graph stepping: a single ring / torus / hypercube with n in
-// the millions, balanced by flow imitation while a uniform token stream
-// arrives — the regime of Sauerwald–Sun (arbitrary topologies at scale) and
-// Berenbrink et al.'s dynamic averaging. A static run is off the table here
-// (T^FOS on a ring grows with n²), so the grid is a dynamic-arrivals study:
-// fixed round budget, steady-state discrepancy band. Cells honour
-// `opts.shard_threads`: the round is stepped shard-parallel with
-// byte-identical rows at any thread count (docs/ARCHITECTURE.md, "Sharded
-// stepping"). Both competitors are Alg1 flow imitation — the diffusion row
-// over FOS, the matching row over a periodic schedule from the *greedy*
-// colouring (Misra–Gries's O(m·n) worst case is prohibitive at this scale).
+// the millions under a uniform token stream — the regime of Sauerwald–Sun
+// (arbitrary topologies at scale) and Berenbrink et al.'s dynamic
+// averaging. A static run is off the table here (T^FOS on a ring grows with
+// n²), so the grid is a dynamic-arrivals study: fixed round budget,
+// steady-state discrepancy band. The *full* competitor set runs — every
+// process steps through the shared sharding protocol — plus an Alg1 row
+// over a periodic schedule from the *greedy* colouring (Misra–Gries's
+// O(m·n) worst case is prohibitive at this scale) and the random-walk
+// baseline of [19]. Cells honour `opts.shard_threads`: rounds step
+// shard-parallel with byte-identical rows at any thread count
+// (docs/ARCHITECTURE.md, "Sharded stepping").
 grid_spec huge_uniform_grid(const grid_options& opts,
                             std::uint64_t /*master*/) {
   grid_spec spec;
@@ -805,9 +813,11 @@ grid_spec huge_uniform_grid(const grid_options& opts,
   spec.view = table_view::mean_discrepancy;
   spec.comm_model = workload::model::diffusion;
   spec.shard_threads = opts.shard_threads;
+  spec.cut_balance = opts.shard_cut;
   spec.dynamic_rounds = opts.dynamic_rounds;
   spec.arrivals_per_round = opts.arrivals_per_round;
   spec.spike_per_node = opts.spike_per_node;
+  spec.repeats = opts.repeats;
 
   const node_id ring_n = std::max<node_id>(16, opts.target_n);
   spec.graphs.push_back(make_case("ring(n=" + std::to_string(ring_n) + ")",
@@ -815,15 +825,8 @@ grid_spec huge_uniform_grid(const grid_options& opts,
   spec.graphs.push_back(torus_case(opts.target_n));
   spec.graphs.push_back(hypercube_case(opts.target_n));
 
-  spec.processes.push_back(
-      {"Alg1 (FOS diffusion)", false,
-       [](std::shared_ptr<const graph> g, const speed_vector& s,
-          const std::vector<weight_t>& tokens, workload::model,
-          std::uint64_t) -> std::unique_ptr<discrete_process> {
-         return std::make_unique<algorithm1>(
-             make_fos(g, s, default_alphas(*g)),
-             task_assignment::tokens(tokens));
-       }});
+  spec.processes = workload::standard_competitors(/*diffusion_model=*/true);
+  const std::size_t matching_row = spec.processes.size();
   spec.processes.push_back(
       {"Alg1 (periodic matchings, greedy)", false,
        [](std::shared_ptr<const graph> g, const speed_vector& s,
@@ -834,16 +837,56 @@ grid_spec huge_uniform_grid(const grid_options& opts,
              make_periodic_matching_process(g, s, to_matchings(*g, c)),
              task_assignment::tokens(tokens));
        }});
-  // Both rows ignore spec.comm_model (each fixes its own schedule); relabel
-  // the matching row so the model column stays honest. Note: shard_threads
-  // deliberately never reaches the row — rows must stay byte-identical
+  spec.processes.push_back(
+      {"random-walk [19]", true,
+       [](std::shared_ptr<const graph> g, const speed_vector& s,
+          const std::vector<weight_t>& tokens, workload::model,
+          std::uint64_t seed) -> std::unique_ptr<discrete_process> {
+         // A short coarse phase spreads the spike before the walkers mark.
+         return std::make_unique<random_walk_balancer>(
+             g, s, default_alphas(*g), tokens, seed,
+             random_walk_config{
+                 .phase1_rounds = 50, .slack = 1, .laziness = 0.5});
+       }});
+  // The matching row ignores spec.comm_model (it fixes its own schedule);
+  // relabel it so the model column stays honest. Note: shard_threads
+  // deliberately never reaches the rows — rows must stay byte-identical
   // across shard counts.
-  spec.annotate = [](const grid_spec&, const grid_cell& cell,
-                     result_row& row) {
-    if (cell.process_index == 1) {
+  spec.annotate = [matching_row](const grid_spec&, const grid_cell& cell,
+                                 result_row& row) {
+    if (cell.process_index == matching_row) {
       row.model = workload::model_name(workload::model::periodic_matching);
     }
   };
+  return spec;
+}
+
+// ------------------------------------------------------ huge-static grid
+
+// Static T^A at n ≈ 1M: the probe loop (measure_balancing_time →
+// is_balanced every round) and every competitor's rounds run shard-parallel,
+// which is what makes million-node *static* balancing-time studies feasible
+// — the probe's O(n) membership test was the last sequential scan on this
+// path. Families whose T^A stays tame at scale only: hypercube and a random
+// 4-regular expander (a ring's T^FOS ~ n² is off the table; that regime is
+// huge-uniform's). Full competitor set, spike workload, discrepancy view —
+// Table 1 at three orders of magnitude more nodes.
+grid_spec huge_static_grid(const grid_options& opts, std::uint64_t master) {
+  grid_spec spec;
+  spec.comm_model = workload::model::diffusion;
+  spec.shard_threads = opts.shard_threads;
+  spec.cut_balance = opts.shard_cut;
+  spec.spike_per_node = opts.spike_per_node;
+  spec.repeats = opts.repeats;
+  spec.processes = workload::standard_competitors(/*diffusion_model=*/true);
+  spec.graphs.push_back(hypercube_case(opts.target_n));
+  const node_id reg_n = std::max<node_id>(16, opts.target_n);
+  spec.graphs.push_back(
+      make_case("random-4-regular(n=" + std::to_string(reg_n) + ")",
+                "expander",
+                generators::random_regular(
+                    reg_n, 4, derive_seed(master, graph_seed_stream))));
+  spec.annotate = annotate_degree_bounds;
   return spec;
 }
 
@@ -972,9 +1015,13 @@ constexpr grid_entry registry[] = {
      "Dynamic arrivals: periodic bursts at one hotspot while diffusing",
      dynamic_bursts_grid},
     {"huge-uniform",
-     "Huge-graph stream: ring/torus/hypercube stepped shard-parallel "
-     "(--shard-threads)",
+     "Huge-graph stream: full competitor set on ring/torus/hypercube, "
+     "stepped shard-parallel (--shard-threads)",
      huge_uniform_grid},
+    {"huge-static",
+     "Huge-graph T^A: full competitor set to the sharded balancing-time "
+     "probe (--shard-threads)",
+     huge_static_grid},
     {"async-poisson",
      "Event-driven arrivals: seeded Poisson stream interleaved with rounds "
      "(--arrival-rate)",

@@ -48,10 +48,15 @@ struct grid_options {
   /// async grids: optional `(time, node, count)` trace file replayed as an
   /// extra event source (`--trace`).
   std::string trace_path;
-  /// Threads stepping a single graph's shards (`--shard-threads`); the
-  /// huge-graph and async grids consume it. Rows are byte-identical for
-  /// any value.
+  /// Threads stepping a single graph's shards (`--shard-threads`). Every
+  /// engine-driven grid honours it uniformly — all competitors step through
+  /// the shared sharding protocol — and rows are byte-identical for any
+  /// value. (Study grids with custom cell bodies ignore it.)
   unsigned shard_threads = 1;
+  /// Node-cut balance of the shard plan (`--shard-balance`): node counts
+  /// (default) or incident-edge work for skewed degree distributions. Rows
+  /// are byte-identical for either value.
+  shard_balance shard_cut = shard_balance::node_count;
 };
 
 /// Name + one-line description of a registered grid.

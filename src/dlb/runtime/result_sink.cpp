@@ -410,6 +410,42 @@ std::vector<std::string> next_csv_record(std::string_view text,
   return fields;
 }
 
+std::string csv_line(const result_row& row, timing t) {
+  std::string line;
+  append_int(line, row.cell);
+  line += ',';
+  append_csv_field(line, row.grid);
+  line += ',';
+  append_csv_field(line, row.scenario);
+  line += ',';
+  append_csv_field(line, row.process);
+  line += ',';
+  append_csv_field(line, row.model);
+  line += ',';
+  append_int(line, row.n);
+  line += ',';
+  append_int(line, row.seed);
+  line += ',';
+  append_int(line, row.rounds);
+  line += ',';
+  line += row.converged ? "true" : "false";
+  line += ',';
+  append_real(line, row.final_max_min);
+  line += ',';
+  append_real(line, row.final_max_avg);
+  line += ',';
+  append_real(line, row.mean_max_min);
+  line += ',';
+  append_real(line, row.peak_max_min);
+  line += ',';
+  append_int(line, row.dummy_created);
+  line += ',';
+  append_csv_field(line, csv_extra_field(row.extra));
+  line += ',';
+  append_int(line, t == timing::include ? row.wall_ns : 0);
+  return line;
+}
+
 std::vector<extra_metric> parse_csv_extras(std::string_view field) {
   std::vector<extra_metric> extras;
   std::size_t start = 0;
@@ -440,41 +476,8 @@ sink_format parse_format(const std::string& name) {
 void write_csv(std::ostream& os, const std::vector<result_row>& rows,
                timing t) {
   os << csv_header << '\n';
-  std::string line;
   for (const result_row& row : rows) {
-    line.clear();
-    append_int(line, row.cell);
-    line += ',';
-    append_csv_field(line, row.grid);
-    line += ',';
-    append_csv_field(line, row.scenario);
-    line += ',';
-    append_csv_field(line, row.process);
-    line += ',';
-    append_csv_field(line, row.model);
-    line += ',';
-    append_int(line, row.n);
-    line += ',';
-    append_int(line, row.seed);
-    line += ',';
-    append_int(line, row.rounds);
-    line += ',';
-    line += row.converged ? "true" : "false";
-    line += ',';
-    append_real(line, row.final_max_min);
-    line += ',';
-    append_real(line, row.final_max_avg);
-    line += ',';
-    append_real(line, row.mean_max_min);
-    line += ',';
-    append_real(line, row.peak_max_min);
-    line += ',';
-    append_int(line, row.dummy_created);
-    line += ',';
-    append_csv_field(line, csv_extra_field(row.extra));
-    line += ',';
-    append_int(line, t == timing::include ? row.wall_ns : 0);
-    os << line << '\n';
+    os << csv_line(row, t) << '\n';
   }
 }
 
@@ -521,6 +524,42 @@ void write_rows(std::ostream& os, const std::vector<result_row>& rows,
   } else {
     write_json(os, rows, t);
   }
+}
+
+// ------------------------------------------------------- streaming writer
+
+row_writer::row_writer(std::ostream& os, sink_format f, timing t)
+    : os_(os), format_(f), timing_(t) {}
+
+void row_writer::begin() {
+  DLB_EXPECTS(!open_ && rows_ == 0);
+  open_ = true;
+  if (format_ == sink_format::csv) {
+    os_ << csv_header << '\n';
+  } else {
+    os_ << "[\n";
+  }
+}
+
+void row_writer::row(const result_row& r) {
+  DLB_EXPECTS(open_);
+  if (format_ == sink_format::csv) {
+    os_ << csv_line(r, timing_) << '\n';
+  } else {
+    // Comma *before* each subsequent row: the total count need not be known
+    // when streaming, and the concatenation equals write_json's bytes.
+    if (rows_ > 0) os_ << ",\n";
+    os_ << "  " << to_json(r, timing_);
+  }
+  ++rows_;
+}
+
+void row_writer::end() {
+  DLB_EXPECTS(open_);
+  open_ = false;
+  if (format_ == sink_format::csv) return;
+  if (rows_ > 0) os_ << '\n';
+  os_ << "]\n";
 }
 
 void result_sink::add(result_row row) {

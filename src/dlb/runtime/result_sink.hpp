@@ -105,6 +105,31 @@ void write_csv(std::ostream& os, const std::vector<result_row>& rows,
 void write_rows(std::ostream& os, const std::vector<result_row>& rows,
                 sink_format f, timing t = timing::include);
 
+/// Incremental serializer for streaming grids: begin() → row(r) for every
+/// row in final order → end(). The concatenated bytes equal
+/// write_rows(all rows) exactly — for JSON the separating comma is written
+/// *before* each subsequent row, so the writer never needs to know the
+/// total count up front; for CSV begin() emits the header and each row is
+/// one line. One writer per output stream; rows must arrive in their final
+/// order (run_grid's streaming overload guarantees cell order).
+class row_writer {
+ public:
+  row_writer(std::ostream& os, sink_format f, timing t);
+
+  void begin();
+  void row(const result_row& r);
+  void end();
+
+  [[nodiscard]] std::uint64_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& os_;
+  sink_format format_;
+  timing timing_;
+  std::uint64_t rows_ = 0;
+  bool open_ = false;
+};
+
 /// Projects rows into the standard table shape (process × scenario →
 /// final max-min discrepancy), ready for analysis::pivot.
 [[nodiscard]] std::vector<analysis::pivot_cell> discrepancy_cells(

@@ -1,0 +1,390 @@
+// The universal sharding protocol: *every* competitor in the repo — the two
+// flow imitators, all three baselines, and the continuous linear process —
+// must step bit-identically at shard counts {1, 2, 8}, including pool
+// contents and RNG-driven decisions (counter-based streams make a draw a
+// pure function of (seed, entity, round), never of visit order). Plus the
+// shared-plan machinery itself: degree-weighted cuts, zero-edge/overshard
+// edge cases, the blocked load sum, and the sharded T^A probe.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dlb/baselines/excess_tokens.hpp"
+#include "dlb/baselines/local_rounding.hpp"
+#include "dlb/baselines/random_walk_balancer.hpp"
+#include "dlb/common/rng.hpp"
+#include "dlb/core/algorithm1.hpp"
+#include "dlb/core/algorithm2.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/engine.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/core/sharding.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/competitors.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+std::shared_ptr<const graph> make_g(graph g) {
+  return std::make_shared<const graph>(std::move(g));
+}
+
+std::shared_ptr<const shard_context> serial_context(
+    const graph& g, std::size_t shards,
+    shard_balance balance = shard_balance::node_count) {
+  return std::make_shared<const shard_context>(shard_context{
+      shard_plan(g, shards, balance),
+      [](std::size_t count, const std::function<void(std::size_t)>& body) {
+        for (std::size_t i = 0; i < count; ++i) body(i);
+      }});
+}
+
+// ---------------------------------------------------------- the six rows
+
+struct competitor_case {
+  std::string name;
+  std::function<std::unique_ptr<discrete_process>(
+      std::shared_ptr<const graph>, const speed_vector&,
+      const std::vector<weight_t>&, std::uint64_t)>
+      build;
+};
+
+std::vector<competitor_case> all_competitors() {
+  std::vector<competitor_case> cases;
+  cases.push_back({"algorithm1",
+                   [](std::shared_ptr<const graph> g, const speed_vector& s,
+                      const std::vector<weight_t>& tokens, std::uint64_t) {
+                     return std::make_unique<algorithm1>(
+                         make_fos(g, s,
+                                  make_alphas(*g,
+                                              alpha_scheme::half_max_degree)),
+                         task_assignment::tokens(tokens));
+                   }});
+  cases.push_back(
+      {"algorithm2",
+       [](std::shared_ptr<const graph> g, const speed_vector& s,
+          const std::vector<weight_t>& tokens, std::uint64_t seed) {
+         return std::make_unique<algorithm2>(
+             make_fos(g, s, make_alphas(*g, alpha_scheme::half_max_degree)),
+             tokens, seed);
+       }});
+  cases.push_back(
+      {"local_rounding",
+       [](std::shared_ptr<const graph> g, const speed_vector& s,
+          const std::vector<weight_t>& tokens, std::uint64_t seed) {
+         return std::make_unique<local_rounding_process>(
+             g, s,
+             std::make_unique<diffusion_alpha_schedule>(
+                 make_alphas(*g, alpha_scheme::half_max_degree)),
+             rounding_policy::randomized_fraction, tokens, seed);
+       }});
+  cases.push_back(
+      {"excess_tokens",
+       [](std::shared_ptr<const graph> g, const speed_vector& s,
+          const std::vector<weight_t>& tokens, std::uint64_t seed) {
+         return std::make_unique<excess_token_process>(
+             g, s, make_alphas(*g, alpha_scheme::half_max_degree), tokens,
+             seed);
+       }});
+  cases.push_back(
+      {"random_walk_balancer",
+       [](std::shared_ptr<const graph> g, const speed_vector& s,
+          const std::vector<weight_t>& tokens, std::uint64_t seed) {
+         // phase1_rounds = 5 so the run crosses the coarse → fine
+         // transition (both phase kinds must shard identically).
+         return std::make_unique<random_walk_balancer>(
+             g, s, make_alphas(*g, alpha_scheme::half_max_degree), tokens,
+             seed,
+             random_walk_config{
+                 .phase1_rounds = 5, .slack = 1, .laziness = 0.5});
+       }});
+  return cases;
+}
+
+class ShardedCompetitorsTest
+    : public ::testing::TestWithParam<competitor_case> {};
+
+// Byte-identity across shard counts: loads, real loads, dummy counters —
+// with mid-run arrivals, over enough rounds that a single divergent RNG
+// draw or misattributed transfer would compound visibly.
+TEST_P(ShardedCompetitorsTest, BitIdenticalAtShardCounts128) {
+  const auto g = make_g(generators::ring_of_cliques(6, 5));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto tokens = workload::spike_workload(*g, s, /*spike_per_node=*/20);
+  constexpr std::uint64_t seed = 42;
+
+  const auto reference = GetParam().build(g, s, tokens, seed);
+  std::vector<std::vector<weight_t>> checkpoints;
+  for (int t = 0; t < 40; ++t) {
+    if (t == 10) reference->inject_tokens(3, 17);
+    reference->step();
+    if (t % 10 == 9) checkpoints.push_back(reference->loads());
+  }
+
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    const auto sharded = GetParam().build(g, s, tokens, seed);
+    ASSERT_TRUE(try_enable_sharding(*sharded, serial_context(*g, shards)))
+        << GetParam().name << " is not shardable";
+    std::size_t checkpoint = 0;
+    for (int t = 0; t < 40; ++t) {
+      if (t == 10) sharded->inject_tokens(3, 17);
+      sharded->step();
+      if (t % 10 == 9) {
+        ASSERT_EQ(sharded->loads(), checkpoints[checkpoint++])
+            << GetParam().name << " shards=" << shards << " round " << t;
+      }
+    }
+    EXPECT_EQ(sharded->loads(), reference->loads());
+    EXPECT_EQ(sharded->real_loads(), reference->real_loads());
+    EXPECT_EQ(sharded->dummy_created(), reference->dummy_created());
+  }
+}
+
+// Round-for-round identity requires identical loads at *every* step, not
+// just checkpoints — a transposed pair of draws could cancel by luck above.
+TEST_P(ShardedCompetitorsTest, EveryRoundMatchesAtFiveShards) {
+  const auto g = make_g(generators::torus_2d(6));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto tokens = workload::spike_workload(*g, s, /*spike_per_node=*/8);
+  constexpr std::uint64_t seed = 7;
+
+  const auto reference = GetParam().build(g, s, tokens, seed);
+  const auto sharded = GetParam().build(g, s, tokens, seed);
+  ASSERT_TRUE(try_enable_sharding(*sharded, serial_context(*g, 5)));
+  for (int t = 0; t < 30; ++t) {
+    reference->step();
+    sharded->step();
+    ASSERT_EQ(sharded->loads(), reference->loads())
+        << GetParam().name << " diverged at round " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCompetitors, ShardedCompetitorsTest,
+    ::testing::ValuesIn(all_competitors()),
+    [](const ::testing::TestParamInfo<competitor_case>& info) {
+      return info.param.name;
+    });
+
+// Pool contents must match exactly for the flow imitator — removal is LIFO,
+// so a reordered pool diverges later even if totals agree.
+TEST(ShardedCompetitorsDetailTest, Algorithm2DummyResidencyMatches) {
+  const auto g = make_g(generators::path(12));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  // A point mass on a path starves downstream nodes → Alg2 mints dummies.
+  const auto tokens = workload::point_mass(g->num_nodes(), 0, 600);
+
+  algorithm2 reference(make_fos(g, s, alpha), tokens, /*seed=*/3);
+  algorithm2 sharded(make_fos(g, s, alpha), tokens, /*seed=*/3);
+  sharded.enable_sharded_stepping(serial_context(*g, 4));
+  for (int t = 0; t < 60; ++t) {
+    reference.step();
+    sharded.step();
+    ASSERT_EQ(sharded.dummy_created(), reference.dummy_created())
+        << "round " << t;
+    for (node_id i = 0; i < g->num_nodes(); ++i) {
+      ASSERT_EQ(sharded.dummies_at(i), reference.dummies_at(i))
+          << "round " << t << " node " << i;
+    }
+    for (edge_id e = 0; e < g->num_edges(); ++e) {
+      ASSERT_EQ(sharded.discrete_flow(e), reference.discrete_flow(e));
+    }
+  }
+  EXPECT_GT(reference.dummy_created(), 0) << "regime no longer mints dummies";
+}
+
+TEST(ShardedCompetitorsDetailTest, RandomWalkWalkersMatch) {
+  const auto g = make_g(generators::random_regular(24, 3, /*seed=*/7));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const auto tokens = workload::point_mass(g->num_nodes(), 0, 960);
+
+  random_walk_balancer reference(g, s, alpha, tokens, /*seed=*/5,
+                                 {.phase1_rounds = 5, .slack = 1,
+                                  .laziness = 0.5});
+  random_walk_balancer sharded(g, s, alpha, tokens, /*seed=*/5,
+                               {.phase1_rounds = 5, .slack = 1,
+                                .laziness = 0.5});
+  sharded.enable_sharded_stepping(serial_context(*g, 8));
+  for (int t = 0; t < 80; ++t) {
+    reference.step();
+    sharded.step();
+    ASSERT_EQ(sharded.loads(), reference.loads()) << "round " << t;
+    ASSERT_EQ(sharded.positive_tokens(), reference.positive_tokens());
+    ASSERT_EQ(sharded.negative_tokens(), reference.negative_tokens());
+  }
+}
+
+// ------------------------------------------------- sharded T^A machinery
+
+TEST(ShardedBalanceProbeTest, IsBalancedEqualsSequentialEveryRound) {
+  const auto g = make_g(generators::ring_of_cliques(5, 6));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const auto tokens = workload::spike_workload(*g, s, 30);
+  const std::vector<real_t> x0(tokens.begin(), tokens.end());
+
+  auto sequential = make_fos(g, s, alpha);
+  auto sharded = make_fos(g, s, alpha);
+  sharded->enable_sharded_stepping(serial_context(*g, 7));
+  sequential->reset(x0);
+  sharded->reset(x0);
+  for (int t = 0; t < 400; ++t) {
+    ASSERT_EQ(is_balanced(*sharded), is_balanced(*sequential))
+        << "round " << t;
+    sequential->step();
+    sharded->step();
+  }
+}
+
+TEST(ShardedBalanceProbeTest, MeasureBalancingTimeMatchesSequential) {
+  const auto g = make_g(generators::hypercube(6));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const auto tokens = workload::spike_workload(*g, s, 25);
+  const std::vector<real_t> x0(tokens.begin(), tokens.end());
+
+  auto sequential = make_fos(g, s, alpha);
+  const auto expected = measure_balancing_time(*sequential, x0, 100'000);
+  ASSERT_TRUE(expected.converged);
+
+  for (const std::size_t shards : {2u, 8u}) {
+    auto sharded = make_fos(g, s, alpha);
+    sharded->enable_sharded_stepping(serial_context(*g, shards));
+    const auto got = measure_balancing_time(*sharded, x0, 100'000);
+    EXPECT_EQ(got.rounds, expected.rounds) << "shards=" << shards;
+    EXPECT_EQ(got.converged, expected.converged);
+  }
+}
+
+TEST(BlockedSumTest, ShardedGroupingMatchesSequentialExactly) {
+  // Values with non-associative float structure: regrouping would move bits.
+  std::vector<real_t> x;
+  rng_t rng = make_rng(11);
+  for (int i = 0; i < 20'000; ++i) {
+    x.push_back(uniform_real(rng, -1e6, 1e6) / 3.0);
+  }
+  const real_t sequential = blocked_sum(x);
+  const auto g = generators::cycle(64);
+  for (const std::size_t shards : {2u, 3u, 8u, 64u}) {
+    const auto ctx = serial_context(g, shards);
+    EXPECT_EQ(blocked_sum(x, *ctx), sequential) << "shards=" << shards;
+  }
+}
+
+TEST(BlockedSumTest, ShortVectorsAreThePlainLeftToRightSum) {
+  std::vector<real_t> x;
+  rng_t rng = make_rng(13);
+  real_t plain = 0;
+  for (int i = 0; i < 4096; ++i) {
+    x.push_back(uniform_real(rng, -1.0, 1.0) / 7.0);
+    plain += x.back();
+  }
+  EXPECT_EQ(blocked_sum(x), plain);
+}
+
+// ------------------------------------------------- plan cuts & edge cases
+
+TEST(ShardPlanCutsTest, DegreeWeightedCutIsolatesTheHub) {
+  // star: node 0 carries half the incident degree; the edge-balanced cut
+  // must not lump it with a quarter of the leaves like the count cut does.
+  const auto g = generators::star(33);
+  const shard_plan plan(g, 4, shard_balance::incident_edges);
+  ASSERT_EQ(plan.num_shards(), 4u);
+  EXPECT_EQ(plan.node_begin(0), 0);
+  EXPECT_EQ(plan.node_end(0), 1) << "hub should fill its shard alone";
+  EXPECT_EQ(plan.node_end(plan.num_shards() - 1), g.num_nodes());
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    EXPECT_LT(plan.node_begin(s), plan.node_end(s)) << "empty node shard";
+    if (s + 1 < plan.num_shards()) {
+      EXPECT_EQ(plan.node_end(s), plan.node_begin(s + 1));
+    }
+  }
+}
+
+TEST(ShardPlanCutsTest, DegreeWeightedResultsEqualUniformResults) {
+  const auto g = make_g(generators::star(25));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const auto tokens = workload::spike_workload(*g, s, 10);
+
+  algorithm1 reference(make_fos(g, s, alpha), task_assignment::tokens(tokens));
+  algorithm1 uniform_cut(make_fos(g, s, alpha),
+                         task_assignment::tokens(tokens));
+  algorithm1 degree_cut(make_fos(g, s, alpha),
+                        task_assignment::tokens(tokens));
+  uniform_cut.enable_sharded_stepping(
+      serial_context(*g, 4, shard_balance::node_count));
+  degree_cut.enable_sharded_stepping(
+      serial_context(*g, 4, shard_balance::incident_edges));
+  for (int t = 0; t < 30; ++t) {
+    reference.step();
+    uniform_cut.step();
+    degree_cut.step();
+    ASSERT_EQ(uniform_cut.loads(), reference.loads()) << "round " << t;
+    ASSERT_EQ(degree_cut.loads(), reference.loads()) << "round " << t;
+  }
+}
+
+TEST(ShardPlanCutsTest, ParsesBalanceNames) {
+  EXPECT_EQ(parse_shard_balance("nodes"), shard_balance::node_count);
+  EXPECT_EQ(parse_shard_balance("edges"), shard_balance::incident_edges);
+  EXPECT_THROW(parse_shard_balance("degree"), contract_violation);
+}
+
+TEST(ShardPlanEdgeCasesTest, ZeroEdgeGraphKeepsEveryShardInTheBarrier) {
+  const graph g(6, {});
+  for (const shard_balance b :
+       {shard_balance::node_count, shard_balance::incident_edges}) {
+    const shard_plan plan(g, 4, b);
+    ASSERT_EQ(plan.num_shards(), 4u);
+    EXPECT_EQ(plan.node_end(3), 6);
+    std::size_t barriers = 0;
+    const shard_context ctx{
+        plan, [&](std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+          for (std::size_t i = 0; i < count; ++i) body(i);
+          ++barriers;
+        }};
+    ctx.for_each_shard([&](std::size_t s) {
+      EXPECT_EQ(plan.edge_begin(s), plan.edge_end(s));
+    });
+    EXPECT_EQ(barriers, 1u) << "the phase barrier must still run";
+  }
+}
+
+TEST(ShardPlanEdgeCasesTest, MoreShardsThanEdgesIsFine) {
+  const auto g = make_g(generators::path(5));  // n=5, m=4
+  const shard_plan plan(*g, 8);
+  EXPECT_EQ(plan.num_shards(), 5u);  // clamped to n, not m
+  EXPECT_EQ(plan.edge_end(plan.num_shards() - 1), g->num_edges());
+
+  // And stepping over such a plan is still exact.
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  const auto tokens = workload::point_mass(g->num_nodes(), 0, 100);
+  algorithm1 reference(make_fos(g, s, alpha), task_assignment::tokens(tokens));
+  algorithm1 sharded(make_fos(g, s, alpha), task_assignment::tokens(tokens));
+  sharded.enable_sharded_stepping(serial_context(*g, 8));
+  for (int t = 0; t < 20; ++t) {
+    reference.step();
+    sharded.step();
+    ASSERT_EQ(sharded.loads(), reference.loads()) << "round " << t;
+  }
+}
+
+TEST(ShardPlanEdgeCasesTest, SingleNodeGraphClampsToOneShard) {
+  const graph g(1, {});
+  const shard_plan plan(g, 8);
+  EXPECT_EQ(plan.num_shards(), 1u);
+  EXPECT_EQ(plan.node_begin(0), 0);
+  EXPECT_EQ(plan.node_end(0), 1);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -5,6 +5,7 @@
 // (byte-compared serialized rows at shard_threads 1, 2, and 8).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -202,20 +203,31 @@ TEST(ShardedEngineTest, RunDynamicMetricsMatchSequential) {
   EXPECT_EQ(got.final_max_min, expected.final_max_min);
 }
 
-// End-to-end acceptance shape: every huge-uniform cell serializes to the
-// same bytes at shard_threads 1, 2, and 8 — real thread pools, real grid
-// drivers, wall_ns masked.
-class HugeUniformShardsTest : public ::testing::TestWithParam<unsigned> {};
+// End-to-end acceptance shape: every cell of the huge grids — the *full*
+// competitor set, including the randomized baselines and the T^A probe of
+// huge-static — serializes to the same bytes at shard_threads 1, 2, and 8,
+// for both node-count and degree-weighted cuts. Real thread pools, real
+// grid drivers, wall_ns masked.
+struct shard_rig_case {
+  const char* grid;
+  unsigned shard_threads;
+  shard_balance balance;
+};
 
-std::string huge_uniform_bytes(unsigned shard_threads) {
+class HugeGridShardsTest : public ::testing::TestWithParam<shard_rig_case> {};
+
+std::string huge_grid_bytes(const std::string& grid, unsigned shard_threads,
+                            shard_balance balance) {
   runtime::grid_options opts;
   opts.target_n = 32;
   opts.dynamic_rounds = 30;
   opts.arrivals_per_round = 5;
   opts.spike_per_node = 4;
+  opts.repeats = 2;
   opts.shard_threads = shard_threads;
+  opts.shard_cut = balance;
   const runtime::grid_spec spec =
-      runtime::make_named_grid("huge-uniform", opts, /*master_seed=*/123);
+      runtime::make_named_grid(grid, opts, /*master_seed=*/123);
   runtime::thread_pool pool(2);
   const auto rows = runtime::run_grid(spec, /*master_seed=*/123, pool);
   std::ostringstream os;
@@ -223,17 +235,33 @@ std::string huge_uniform_bytes(unsigned shard_threads) {
   return os.str();
 }
 
-TEST_P(HugeUniformShardsTest, RowsByteIdenticalToSequential) {
-  const std::string sequential = huge_uniform_bytes(1);
+TEST_P(HugeGridShardsTest, RowsByteIdenticalToSequential) {
+  const std::string sequential =
+      huge_grid_bytes(GetParam().grid, 1, shard_balance::node_count);
   ASSERT_FALSE(sequential.empty());
-  EXPECT_EQ(huge_uniform_bytes(GetParam()), sequential);
+  EXPECT_EQ(huge_grid_bytes(GetParam().grid, GetParam().shard_threads,
+                            GetParam().balance),
+            sequential);
 }
 
-INSTANTIATE_TEST_SUITE_P(ShardCounts, HugeUniformShardsTest,
-                         ::testing::Values(2u, 8u),
-                         [](const ::testing::TestParamInfo<unsigned>& info) {
-                           return "threads_" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    ShardRigs, HugeGridShardsTest,
+    ::testing::Values(
+        shard_rig_case{"huge-uniform", 2, shard_balance::node_count},
+        shard_rig_case{"huge-uniform", 8, shard_balance::node_count},
+        shard_rig_case{"huge-uniform", 8, shard_balance::incident_edges},
+        shard_rig_case{"huge-static", 2, shard_balance::node_count},
+        shard_rig_case{"huge-static", 8, shard_balance::node_count},
+        shard_rig_case{"huge-static", 8, shard_balance::incident_edges}),
+    [](const ::testing::TestParamInfo<shard_rig_case>& info) {
+      std::string name = info.param.grid;
+      name += "_threads_" + std::to_string(info.param.shard_threads);
+      if (info.param.balance == shard_balance::incident_edges) {
+        name += "_degree_cut";
+      }
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
 
 }  // namespace
 }  // namespace dlb

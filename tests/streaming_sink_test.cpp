@@ -1,0 +1,119 @@
+// Streaming result flushing: the row_writer's incremental framing must
+// reproduce write_rows' bytes exactly, and run_grid_streaming must emit the
+// grid's canonical row sequence in cell order — from real multi-threaded
+// pools whose cells finish out of order — without materializing the grid.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dlb/runtime/grids.hpp"
+
+namespace dlb::runtime {
+namespace {
+
+result_row sample_row(std::uint64_t cell) {
+  result_row row;
+  row.cell = cell;
+  row.grid = "g";
+  row.scenario = "case, \"quoted\"";  // exercises CSV quoting
+  row.process = "p" + std::to_string(cell);
+  row.model = "diffusion";
+  row.n = 8;
+  row.seed = 99 + cell;
+  row.rounds = 7;
+  row.converged = true;
+  row.final_max_min = 1.5 + static_cast<real_t>(cell);
+  row.extra.push_back({"k=weird", 0.25});
+  row.wall_ns = 1234;
+  return row;
+}
+
+class RowWriterFormatsTest : public ::testing::TestWithParam<sink_format> {};
+
+TEST_P(RowWriterFormatsTest, MatchesBufferedBytes) {
+  for (const std::size_t count : {0u, 1u, 3u}) {
+    std::vector<result_row> rows;
+    for (std::size_t i = 0; i < count; ++i) rows.push_back(sample_row(i));
+    for (const timing t : {timing::include, timing::exclude}) {
+      std::ostringstream buffered;
+      write_rows(buffered, rows, GetParam(), t);
+      std::ostringstream streamed;
+      row_writer writer(streamed, GetParam(), t);
+      writer.begin();
+      for (const result_row& row : rows) writer.row(row);
+      writer.end();
+      EXPECT_EQ(streamed.str(), buffered.str())
+          << "rows=" << count
+          << " timing=" << (t == timing::include ? "include" : "exclude");
+      EXPECT_EQ(writer.rows_written(), count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, RowWriterFormatsTest,
+                         ::testing::Values(sink_format::json,
+                                           sink_format::csv),
+                         [](const ::testing::TestParamInfo<sink_format>& i) {
+                           return i.param == sink_format::json ? "json"
+                                                               : "csv";
+                         });
+
+TEST(RunGridStreamingTest, EmitsTheExactRunGridSequenceInCellOrder) {
+  grid_options opts;
+  opts.target_n = 32;
+  opts.repeats = 2;
+  opts.spike_per_node = 10;
+  const grid_spec spec = make_named_grid("table1", opts, /*master=*/5);
+
+  thread_pool buffered_pool(4);
+  const auto expected = run_grid(spec, /*master=*/5, buffered_pool);
+
+  thread_pool streaming_pool(4);
+  std::vector<result_row> streamed;
+  const std::uint64_t count = run_grid_streaming(
+      spec, /*master=*/5, streaming_pool,
+      [&](const result_row& row) { streamed.push_back(row); });
+
+  ASSERT_EQ(count, expected.size());
+  ASSERT_EQ(streamed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Cell order, not completion order.
+    EXPECT_EQ(streamed[i].cell, static_cast<std::uint64_t>(i));
+    // wall_ns is the one nondeterministic field; mask it for comparison.
+    result_row a = streamed[i];
+    result_row b = expected[i];
+    a.wall_ns = 0;
+    b.wall_ns = 0;
+    EXPECT_EQ(a, b) << "row " << i;
+  }
+}
+
+TEST(RunGridStreamingTest, StreamingIntoWriterMatchesBufferedSerialization) {
+  grid_options opts;
+  opts.target_n = 32;
+  opts.repeats = 2;
+  opts.dynamic_rounds = 20;
+  opts.arrivals_per_round = 4;
+  opts.spike_per_node = 4;
+  const grid_spec spec = make_named_grid("huge-uniform", opts, /*master=*/17);
+
+  thread_pool pool(4);
+  const auto rows = run_grid(spec, /*master=*/17, pool);
+  std::ostringstream buffered;
+  write_rows(buffered, rows, sink_format::csv, timing::exclude);
+
+  std::ostringstream streamed;
+  row_writer writer(streamed, sink_format::csv, timing::exclude);
+  writer.begin();
+  thread_pool pool2(4);
+  run_grid_streaming(spec, /*master=*/17, pool2,
+                     [&](const result_row& row) { writer.row(row); });
+  writer.end();
+  EXPECT_EQ(streamed.str(), buffered.str());
+}
+
+}  // namespace
+}  // namespace dlb::runtime
