@@ -10,6 +10,7 @@
 // feed bench/check_regression.py.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -44,6 +45,7 @@ inline int run_grid_bench(const std::string& file_tag,
   runtime::thread_pool pool(cell_threads > 0
                                 ? cell_threads
                                 : runtime::thread_pool::default_threads());
+  const auto bench_start = std::chrono::steady_clock::now();
   std::vector<runtime::result_row> rows;
   for (const grid_batch& batch : batches) {
     runtime::grid_spec spec =
@@ -68,6 +70,14 @@ inline int run_grid_bench(const std::string& file_tag,
   std::ofstream out(path);
   runtime::write_json(out, rows, runtime::timing::include);
   std::cout << "\nwrote " << rows.size() << " cells to " << path << "\n";
+  // Also to stderr: the tables above push the artifact location off-screen,
+  // and CI logs often capture only one of the two streams.
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  std::cerr << "BENCH " << path << ": " << rows.size() << " cells in "
+            << wall_s << " s\n";
   return 0;
 }
 

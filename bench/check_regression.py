@@ -10,10 +10,12 @@ quiet machine) with the command documented in docs/REPRODUCING.md.
         [--threshold 2.0] [--min-ns 1000000]
 
 Cells faster than --min-ns in both files are ignored: sub-millisecond cells
-are scheduler noise, not signal. Exit 1 when any cell regresses — CI runs
-this as a non-blocking step (continue-on-error), so a red mark is a prompt
-to look, not a merge gate; absolute times differ across machines, which is
-why only the ratio against the same-machine baseline is meaningful.
+are scheduler noise, not signal. Every run prints the ten worst cells by
+fresh/baseline ratio — regression or not — so a green run still shows where
+the time went. Exit 1 when any cell regresses — CI runs this as a
+non-blocking step (continue-on-error), so a red mark is a prompt to look,
+not a merge gate; absolute times differ across machines, which is why only
+the ratio against the same-machine baseline is meaningful.
 """
 
 import argparse
@@ -21,10 +23,22 @@ import json
 import sys
 
 
-def load_rows(path):
-    with open(path, encoding="utf-8") as f:
-        rows = json.load(f)
-    return {(row["grid"], row["cell"]): row for row in rows}
+def load_rows(path, role):
+    """Rows keyed by (grid, cell), with one-line errors instead of
+    tracebacks: a stale CI cache or a truncated artifact should read as
+    'baseline file is bad', not as a bug in this script."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            rows = json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: {role} file not found: {path}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {role} file {path} is not valid JSON: {e}")
+    try:
+        return {(row["grid"], row["cell"]): row for row in rows}
+    except (TypeError, KeyError):
+        sys.exit(f"error: {role} file {path} is not a dlb_run/BENCH rows "
+                 f"array (need objects with 'grid' and 'cell' keys)")
 
 
 def main():
@@ -35,8 +49,8 @@ def main():
     parser.add_argument("--min-ns", type=int, default=1_000_000)
     args = parser.parse_args()
 
-    baseline = load_rows(args.baseline)
-    fresh = load_rows(args.fresh)
+    baseline = load_rows(args.baseline, "baseline")
+    fresh = load_rows(args.fresh, "fresh")
     shared = sorted(baseline.keys() & fresh.keys())
     if not shared:
         sys.exit("no shared (grid, cell) keys between baseline and fresh run")
@@ -48,27 +62,34 @@ def main():
             f"({only_baseline} baseline-only, {only_fresh} fresh-only skipped)"
         )
 
+    ranked = []  # (ratio, key, base_ns, fresh_ns) over the non-noise cells
     flagged = []
     for key in shared:
         base_ns = baseline[key]["wall_ns"]
         fresh_ns = fresh[key]["wall_ns"]
-        if max(base_ns, fresh_ns) < args.min_ns:
+        if max(base_ns, fresh_ns) < args.min_ns or base_ns <= 0:
             continue
-        if base_ns > 0 and fresh_ns > args.threshold * base_ns:
-            flagged.append((key, base_ns, fresh_ns))
+        ratio = fresh_ns / base_ns
+        ranked.append((ratio, key, base_ns, fresh_ns))
+        if ratio > args.threshold:
+            flagged.append(key)
 
-    if flagged:
-        print(
-            f"{len(flagged)} cell(s) regressed beyond "
-            f"{args.threshold:.1f}x:"
-        )
-        for (grid, cell), base_ns, fresh_ns in flagged:
+    ranked.sort(reverse=True)
+    if ranked:
+        print("worst cells by fresh/baseline wall_ns ratio:")
+        for ratio, (grid, cell), base_ns, fresh_ns in ranked[:10]:
             row = fresh[(grid, cell)]
             print(
                 f"  {grid}/cell{cell} [{row['process']} @ {row['scenario']}]"
                 f": {base_ns / 1e6:.2f}ms -> {fresh_ns / 1e6:.2f}ms "
-                f"({fresh_ns / base_ns:.1f}x)"
+                f"({ratio:.1f}x)"
             )
+
+    if flagged:
+        print(
+            f"{len(flagged)} cell(s) regressed beyond "
+            f"{args.threshold:.1f}x"
+        )
         sys.exit(1)
     print(f"OK: no cell regressed beyond {args.threshold:.1f}x "
           f"({len(shared)} cells compared)")

@@ -29,8 +29,17 @@
 //   --burst-size / --burst-period             dynamic-bursts only
 //   --arrival-rate / --service-rate   async (event-driven) grids: Poisson
 //                 arrivals / service completions per unit of virtual time
-//   --trace       async grids: replay `(time, node, count)` events from
+//   --replay-trace  async grids: replay `(time, node, count)` events from
 //                 this file as an extra source
+//   --trace       write a Chrome/Perfetto trace-event JSON of the run to
+//                 this path (load in ui.perfetto.dev), plus a per-cell
+//                 metrics sidecar at <path>.metrics.json. Observation only:
+//                 stdout rows are byte-identical with or without it
+//   --obs-summary print a human span/shard-skew/pool-utilization summary to
+//                 stderr after the grids finish (tools/summarize_trace.py is
+//                 the offline equivalent over a --trace file)
+//   --obs-extras  append the deterministic obs counters (obs_tokens_moved,
+//                 obs_edges_touched, ...) to every row's extras
 //   --format      stdout/--out serialization: json (default) or csv —
 //                 same row schema, same determinism guarantees
 //   --out         also write results (with real wall_ns timing) to this file
@@ -51,6 +60,8 @@
 
 #include "dlb/analysis/args.hpp"
 #include "dlb/analysis/table.hpp"
+#include "dlb/obs/export.hpp"
+#include "dlb/obs/recorder.hpp"
 #include "dlb/runtime/grids.hpp"
 
 namespace {
@@ -94,11 +105,14 @@ int main(int argc, char** argv) {
     opts.burst_period = args.get_int("burst-period", opts.burst_period);
     opts.arrival_rate = args.get_real("arrival-rate", opts.arrival_rate);
     opts.service_rate = args.get_real("service-rate", opts.service_rate);
-    opts.trace_path = args.get("trace", opts.trace_path);
+    opts.trace_path = args.get("replay-trace", opts.trace_path);
     opts.shard_threads = static_cast<unsigned>(
         args.get_int("shard-threads", opts.shard_threads));
     opts.shard_cut = parse_shard_balance(args.get("shard-balance", "nodes"));
     const std::string cost_baseline = args.get("cost-baseline", "");
+    const std::string trace_out = args.get("trace", "");
+    const bool obs_summary = args.has("obs-summary");
+    const bool obs_extras = args.has("obs-extras");
     const bool stream = args.has("stream");
     const auto master_seed =
         static_cast<std::uint64_t>(args.get_int("master-seed", 1));
@@ -133,6 +147,14 @@ int main(int argc, char** argv) {
                 << cost_baseline << "\n";
     }
 
+    // One recorder per run: the cell pool, every cell's shard pool, and
+    // every engine driver report into it; exporters read it after the pool
+    // is idle. --obs-summary alone still records (it only skips the file).
+    std::unique_ptr<obs::recorder> recorder;
+    if (!trace_out.empty() || obs_summary) {
+      recorder = std::make_unique<obs::recorder>();
+    }
+
     // Build every grid spec up front: an unknown grid name or bad config
     // must fail *before* outputs are touched — opening --out truncates it,
     // and a begun stream has already emitted its framing.
@@ -140,9 +162,12 @@ int main(int argc, char** argv) {
     for (const std::string& name : split_csv(grid_arg)) {
       specs.push_back(runtime::make_named_grid(name, opts, master_seed));
       specs.back().cost_hints = hints;
+      specs.back().recorder = recorder.get();
+      specs.back().obs_extras = obs_extras;
     }
 
     runtime::thread_pool pool(threads);
+    if (recorder != nullptr) pool.set_recorder(recorder.get());
     // --out opens lazily: streaming must write as rows arrive, but the
     // buffered path opens (and truncates) only after every grid succeeded,
     // so a mid-run failure leaves a previous results file intact.
@@ -193,13 +218,40 @@ int main(int argc, char** argv) {
                       std::make_move_iterator(rows.end()));
     }
 
+    // Trace export + summary after every grid finished and the pools are
+    // idle (the recorder's read-side contract). The rows above are already
+    // out (or about to be written from memory) — obs output goes to its own
+    // files and stderr, never into the row streams.
+    const auto export_obs = [&]() {
+      if (recorder == nullptr) return true;
+      if (!trace_out.empty()) {
+        std::ofstream trace_file(trace_out);
+        if (!trace_file) {
+          std::cerr << "cannot open " << trace_out << "\n";
+          return false;
+        }
+        obs::write_chrome_trace(trace_file, *recorder);
+        const std::string sidecar_path = trace_out + ".metrics.json";
+        std::ofstream sidecar(sidecar_path);
+        if (!sidecar) {
+          std::cerr << "cannot open " << sidecar_path << "\n";
+          return false;
+        }
+        obs::write_metrics_sidecar(sidecar, *recorder);
+        std::cerr << "wrote trace to " << trace_out << " and metrics to "
+                  << sidecar_path << "\n";
+      }
+      if (obs_summary) obs::write_summary(std::cerr, *recorder);
+      return true;
+    };
+
     if (stream) {
       stdout_writer.end();
       if (out_file.is_open()) {
         file_writer.end();
         std::cerr << "wrote " << streamed << " rows to " << out_path << "\n";
       }
-      return 0;
+      return export_obs() ? 0 : 1;
     }
     runtime::write_rows(std::cout, all_rows, format, runtime::timing::exclude);
     if (!out_path.empty()) {
@@ -209,7 +261,7 @@ int main(int argc, char** argv) {
       std::cerr << "wrote " << all_rows.size() << " rows to " << out_path
                 << "\n";
     }
-    return 0;
+    return export_obs() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -99,17 +99,23 @@ void excess_token_process::send_phase(node_id i0, node_id i1) {
 // (integer sums). The process never overdraws by construction.
 void excess_token_process::apply_phase(node_id i0, node_id i1) {
   const graph& g = *g_;
+  weight_t moved = 0;  // tokens received by this slice's nodes (obs only)
   for (node_id i = i0; i < i1; ++i) {
     weight_t delta = 0;
     for (const incidence& inc : g.neighbors(i)) {
       const edge_tokens& slot = in_flight_[static_cast<size_t>(inc.edge)];
       // i is the edge's u iff the neighbor is larger.
-      delta += inc.neighbor > i ? slot.from_v - slot.from_u
-                                : slot.from_u - slot.from_v;
+      const weight_t in =
+          inc.neighbor > i ? slot.from_v : slot.from_u;
+      const weight_t out =
+          inc.neighbor > i ? slot.from_u : slot.from_v;
+      delta += in - out;
+      moved += in;
     }
     loads_[static_cast<size_t>(i)] += delta;
     DLB_ASSERT(loads_[static_cast<size_t>(i)] >= 0);
   }
+  add_tokens_moved(static_cast<std::uint64_t>(moved));
 }
 
 void excess_token_process::step() {

@@ -56,6 +56,7 @@ void local_rounding_process::round_phase(edge_id e0, edge_id e1) {
   const graph& g = *g_;
   const std::uint64_t round_seed =
       derive_seed(coin_seed_, static_cast<std::uint64_t>(t_));
+  weight_t moved = 0;  // gross tokens sent over this slice's edges (obs only)
   for (edge_id e = e0; e < e1; ++e) {
     edge_sent_[static_cast<size_t>(e)] = 0;
     const real_t a = alpha_buf_[static_cast<size_t>(e)];
@@ -105,7 +106,9 @@ void local_rounding_process::round_phase(edge_id e0, edge_id e1) {
     }
     if (sent == 0) continue;
     edge_sent_[static_cast<size_t>(e)] = u_sends ? sent : -sent;
+    moved += sent;
   }
+  add_tokens_moved(static_cast<std::uint64_t>(moved));
 }
 
 // Phase 2 (per node): apply the synchronous deltas by folding incident

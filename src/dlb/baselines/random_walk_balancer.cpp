@@ -57,6 +57,7 @@ void random_walk_balancer::real_load_extrema(node_id begin, node_id end,
 // a pure function of the round-start loads.
 void random_walk_balancer::coarse_flow_phase(edge_id e0, edge_id e1) {
   const graph& g = *g_;
+  weight_t moved = 0;  // gross tokens sent over this slice's edges (obs only)
   for (edge_id e = e0; e < e1; ++e) {
     edge_sent_[static_cast<size_t>(e)] = 0;
     const edge& ed = g.endpoints(e);
@@ -68,7 +69,9 @@ void random_walk_balancer::coarse_flow_phase(edge_id e0, edge_id e1) {
         static_cast<weight_t>(std::floor(std::abs(diff) + flow_epsilon));
     if (sent == 0) continue;
     edge_sent_[static_cast<size_t>(e)] = diff > 0 ? sent : -sent;
+    moved += sent;
   }
+  add_tokens_moved(static_cast<std::uint64_t>(moved));
 }
 
 // Coarse phase 2 (per node): fold incident edges (integer sums).
@@ -165,6 +168,7 @@ void random_walk_balancer::walk_phase(node_id i0, node_id i1) {
 std::int64_t random_walk_balancer::settle_phase(node_id i0, node_id i1) {
   const graph& g = *g_;
   std::int64_t negative_events = 0;
+  weight_t moved = 0;  // load units pulled into this slice's nodes (obs only)
   for (node_id i = i0; i < i1; ++i) {
     const std::size_t idx = static_cast<size_t>(i);
     weight_t pos_in = 0;
@@ -180,6 +184,9 @@ std::int64_t random_walk_balancer::settle_phase(node_id i0, node_id i1) {
       neg_in += i_is_u ? w.neg_from_v : w.neg_from_u;
     }
     loads_[idx] += (pos_in - pos_out) + (neg_out - neg_in);
+    // A positive walker entering carries one unit in; a negative walker
+    // leaving pulls one unit in — each moved unit counted at its receiver.
+    moved += pos_in + neg_out;
     if (loads_[idx] < 0) ++negative_events;
     const weight_t new_pos = stay_pos_[idx] + pos_in;
     const weight_t new_neg = stay_neg_[idx] + neg_in;
@@ -188,6 +195,7 @@ std::int64_t random_walk_balancer::settle_phase(node_id i0, node_id i1) {
     positive_[idx] = new_pos - cancel;
     negative_[idx] = new_neg - cancel;
   }
+  add_tokens_moved(static_cast<std::uint64_t>(moved));
   return negative_events;
 }
 

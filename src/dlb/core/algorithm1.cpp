@@ -147,6 +147,7 @@ weight_t algorithm1::send_phase(node_id i0, node_id i1) {
 // re-sent this round (delivery is synchronous, after every send).
 void algorithm1::receive_phase(node_id i0, node_id i1) {
   const graph& g = process_->topology();
+  weight_t moved = 0;  // weight delivered to this slice's nodes (obs only)
   for (node_id i = i0; i < i1; ++i) {
     task_pool& dest = tasks_.pool(i);
     for (const incidence& inc : g.neighbors(i)) {
@@ -156,9 +157,11 @@ void algorithm1::receive_phase(node_id i0, node_id i1) {
         dest.add_real(out.real_weights[k], out.real_origins[k]);
       }
       dest.add_dummies(out.dummy_count);
+      moved += out.total;
     }
     loads_[static_cast<size_t>(i)] = dest.total_weight();
   }
+  add_tokens_moved(static_cast<std::uint64_t>(moved));
 }
 
 void algorithm1::step() {
@@ -178,6 +181,12 @@ void algorithm1::step() {
 void algorithm1::on_sharding_enabled(
     const std::shared_ptr<const shard_context>& ctx) {
   try_enable_sharding(*process_, ctx);
+}
+
+void algorithm1::on_probe_attached(const obs::probe& pb) {
+  // The internal continuous reference steps inside this cell too — its
+  // phase spans belong to the same probe.
+  try_attach_probe(*process_, pb);
 }
 
 void algorithm1::real_load_extrema(node_id begin, node_id end, real_t& lo,

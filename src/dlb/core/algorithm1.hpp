@@ -126,6 +126,9 @@ class algorithm1 final : public discrete_process, public sharded_stepper {
   // supports it (flow imitation stays exact either way).
   void on_sharding_enabled(
       const std::shared_ptr<const shard_context>& ctx) override;
+  // Forwards the observability probe to the internal continuous process the
+  // same way.
+  void on_probe_attached(const obs::probe& pb) override;
 
  private:
   /// One pending transfer: the task set S_ij in flight over an edge.

@@ -88,6 +88,12 @@ void algorithm2::on_sharding_enabled(
   try_enable_sharding(*process_, ctx);
 }
 
+void algorithm2::on_probe_attached(const obs::probe& pb) {
+  // The internal continuous reference steps inside this cell too — its
+  // phase spans belong to the same probe.
+  try_attach_probe(*process_, pb);
+}
+
 // Phase 1 (per edge): the positive-deficit direction decides its rounded
 // send Y = ⌊Ŷ⌋ + Bernoulli({Ŷ}). The coin is a counter-based draw keyed
 // (seed, t, e) — a pure function of the edge and round, independent of
@@ -172,6 +178,7 @@ weight_t algorithm2::mint_phase(node_id i0, node_id i1) {
 // edges (integer sums — order-independent, but folded ascending anyway).
 void algorithm2::apply_phase(node_id i0, node_id i1) {
   const graph& g = process_->topology();
+  weight_t moved = 0;  // weight delivered to this slice's nodes (obs only)
   for (node_id i = i0; i < i1; ++i) {
     const std::size_t idx = static_cast<size_t>(i);
     weight_t recv = 0;
@@ -185,9 +192,11 @@ void algorithm2::apply_phase(node_id i0, node_id i1) {
     }
     loads_[idx] += recv - sent_[idx];
     dummies_[idx] += recv_dummy - dummy_out_[idx];
+    moved += recv;
     DLB_ASSERT(loads_[idx] >= 0);
     DLB_ASSERT(dummies_[idx] >= 0);
   }
+  add_tokens_moved(static_cast<std::uint64_t>(moved));
 }
 
 void algorithm2::step() {

@@ -97,6 +97,9 @@ class algorithm2 final : public discrete_process, public sharded_stepper {
   }
   void on_sharding_enabled(
       const std::shared_ptr<const shard_context>& ctx) override;
+  // Forwards the observability probe to the internal continuous process the
+  // same way.
+  void on_probe_attached(const obs::probe& pb) override;
 
  private:
   /// Round-t transfer decision of one edge: `y` tokens from `from_u`'s side

@@ -5,6 +5,8 @@
 
 #include "dlb/common/contracts.hpp"
 #include "dlb/core/sharding.hpp"
+#include "dlb/obs/metrics.hpp"
+#include "dlb/obs/recorder.hpp"
 
 namespace dlb {
 
@@ -93,21 +95,30 @@ bool is_balanced(const continuous_process& a, real_t tol) {
 
 balancing_time_result measure_balancing_time(continuous_process& a,
                                              const std::vector<real_t>& x0,
-                                             round_t cap) {
+                                             round_t cap,
+                                             const obs::probe& pb) {
   DLB_EXPECTS(cap >= 0);
   a.reset(std::vector<real_t>(x0));
   // Speeds never change across the probe loop; sum them once, not per round.
   const std::shared_ptr<const shard_context> ctx = sharding_of(a);
   const weight_t total_speed = total_speed_of(a.speeds(), ctx.get());
   balancing_time_result r;
-  while (!balanced_against(a, total_speed, balanced_tolerance, ctx.get())) {
+  const auto balanced = [&] {
+    const obs::scoped_span span(pb.rec, "tA_check", -1, pb.cell);
+    return balanced_against(a, total_speed, balanced_tolerance, ctx.get());
+  };
+  while (!balanced()) {
     if (a.rounds_executed() >= cap) {
       r.rounds = cap;
       r.converged = false;
       r.negative_load = a.negative_load_detected();
       return r;
     }
-    a.step();
+    {
+      const obs::scoped_span span(pb.rec, "tA_round", -1, pb.cell);
+      a.step();
+    }
+    if (pb.met != nullptr) pb.met->add_round();
   }
   r.rounds = a.rounds_executed();
   r.converged = true;
@@ -116,17 +127,22 @@ balancing_time_result measure_balancing_time(continuous_process& a,
 }
 
 void run_rounds(discrete_process& d, round_t rounds,
-                const round_observer& obs) {
+                const round_observer& obs, const obs::probe& pb) {
   DLB_EXPECTS(rounds >= 0);
   for (round_t t = 0; t < rounds; ++t) {
-    d.step();
+    {
+      const obs::scoped_span span(pb.rec, "round", -1, pb.cell);
+      d.step();
+    }
+    if (pb.met != nullptr) pb.met->add_round();
     if (obs) obs(d.rounds_executed(), d);
   }
 }
 
 dynamic_result run_dynamic(discrete_process& d,
                            const workload::arrival_schedule& sched,
-                           round_t rounds, const round_observer& obs) {
+                           round_t rounds, const round_observer& obs,
+                           const obs::probe& pb) {
   DLB_EXPECTS(rounds >= 1);
   dynamic_result r;
   r.rounds = rounds;
@@ -134,11 +150,20 @@ dynamic_result run_dynamic(discrete_process& d,
   real_t sum = 0;
   round_t samples = 0;
   for (round_t t = 0; t < rounds; ++t) {
+    weight_t arrived = 0;
     for (const workload::arrival& a : sched.arrivals(t)) {
       d.inject_tokens(a.node, a.count);
-      r.total_arrived += a.count;
+      arrived += a.count;
     }
-    d.step();
+    r.total_arrived += arrived;
+    if (pb.met != nullptr) {
+      pb.met->add_arrivals(static_cast<std::uint64_t>(arrived));
+      pb.met->add_round();
+    }
+    {
+      const obs::scoped_span span(pb.rec, "round", -1, pb.cell);
+      d.step();
+    }
     if (obs) obs(d.rounds_executed(), d);
     if (t >= warmup) {
       const real_t disc = round_discrepancy(d);
@@ -159,7 +184,8 @@ dynamic_result run_dynamic(discrete_process& d,
 experiment_result run_experiment(discrete_process& d,
                                  const continuous_process& reference_template,
                                  round_t cap,
-                                 const round_observer& obs) {
+                                 const round_observer& obs,
+                                 const obs::probe& pb) {
   // Balancing time of the continuous reference from the discrete start.
   std::vector<real_t> x0(d.loads().size());
   for (std::size_t i = 0; i < x0.size(); ++i) {
@@ -168,15 +194,18 @@ experiment_result run_experiment(discrete_process& d,
   auto reference = reference_template.clone_fresh();
   // The T^A probe steps the same topology as `d`; when `d` runs sharded,
   // step the probe over the same shard context too (clone_fresh starts
-  // sequential, so the context must be re-attached here).
+  // sequential, so the context must be re-attached here). The observability
+  // probe re-attaches the same way, so the reference's phases report to the
+  // cell that owns this run.
   if (const auto* sh = dynamic_cast<const shardable*>(&d);
       sh != nullptr && sh->sharding() != nullptr) {
     try_enable_sharding(*reference, sh->sharding());
   }
+  if (pb.active()) try_attach_probe(*reference, pb);
   const balancing_time_result bt =
-      measure_balancing_time(*reference, x0, cap);
+      measure_balancing_time(*reference, x0, cap, pb);
 
-  run_rounds(d, bt.rounds, obs);
+  run_rounds(d, bt.rounds, obs, pb);
 
   experiment_result r;
   r.rounds = bt.rounds;

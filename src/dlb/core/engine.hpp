@@ -11,6 +11,7 @@
 
 #include "dlb/core/metrics.hpp"
 #include "dlb/core/process.hpp"
+#include "dlb/obs/probe.hpp"
 #include "dlb/workload/arrival.hpp"
 
 namespace dlb {
@@ -29,9 +30,12 @@ inline constexpr real_t balanced_tolerance = 1.0;
 
 /// Runs `a` (reset to x0) until every node is within balanced_tolerance of
 /// its balanced load, or `cap` rounds elapse. Returns T^A and whether A
-/// induced negative load.
+/// induced negative load. `pb` (optional, like every engine probe parameter)
+/// attributes per-round spans to the caller's cell — observation only, the
+/// measured T^A is byte-identical with or without it.
 [[nodiscard]] balancing_time_result measure_balancing_time(
-    continuous_process& a, const std::vector<real_t>& x0, round_t cap);
+    continuous_process& a, const std::vector<real_t>& x0, round_t cap,
+    const obs::probe& pb = {});
 
 /// True iff every node of `a` is within `tol` of its balanced share.
 [[nodiscard]] bool is_balanced(const continuous_process& a,
@@ -50,7 +54,8 @@ using round_observer = std::function<void(round_t t, const discrete_process& d)>
 
 /// Advances `d` by `rounds` rounds, invoking `obs` (if any) after each.
 void run_rounds(discrete_process& d, round_t rounds,
-                const round_observer& obs = nullptr);
+                const round_observer& obs = nullptr,
+                const obs::probe& pb = {});
 
 /// Aggregate outcome of one discrete experiment.
 struct experiment_result {
@@ -71,7 +76,8 @@ struct experiment_result {
 /// paper's reporting convention.
 [[nodiscard]] experiment_result run_experiment(
     discrete_process& d, const continuous_process& reference_template,
-    round_t cap, const round_observer& obs = nullptr);
+    round_t cap, const round_observer& obs = nullptr,
+    const obs::probe& pb = {});
 
 /// Outcome of a dynamic (arrivals-while-balancing) run.
 struct dynamic_result {
@@ -87,6 +93,7 @@ struct dynamic_result {
 /// the run (the first half is warm-up).
 [[nodiscard]] dynamic_result run_dynamic(
     discrete_process& d, const workload::arrival_schedule& sched,
-    round_t rounds, const round_observer& obs = nullptr);
+    round_t rounds, const round_observer& obs = nullptr,
+    const obs::probe& pb = {});
 
 }  // namespace dlb

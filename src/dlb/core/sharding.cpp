@@ -4,6 +4,8 @@
 #include <string>
 
 #include "dlb/common/contracts.hpp"
+#include "dlb/obs/metrics.hpp"
+#include "dlb/obs/recorder.hpp"
 
 namespace dlb {
 
@@ -96,28 +98,142 @@ void sharded_stepper::enable_sharded_stepping(
   on_sharding_enabled(shard_);
 }
 
+namespace {
+
+/// Static span-name literals per phase kind (span_record stores the
+/// pointer, never a copy, so these must have program lifetime).
+struct phase_labels {
+  const char* span;
+  const char* barrier;
+  bool edge_items;  ///< ranges (and the touched counter) cut edges, not nodes
+};
+
+const phase_labels& labels_of(int kind) {
+  static constexpr phase_labels table[] = {
+      {"edge_phase", "barrier:edge_phase", true},
+      {"node_phase", "barrier:node_phase", false},
+      {"node_phase_reduce", "barrier:node_phase_reduce", false},
+  };
+  return table[kind];
+}
+
+}  // namespace
+
+void sharded_stepper::for_each_slice(
+    phase_kind kind,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& slice)
+    const {
+  const phase_labels& labels = labels_of(static_cast<int>(kind));
+  const shard_plan& plan = shard_->plan;
+  const std::size_t shards = plan.num_shards();
+  const auto range_of = [&](std::size_t s) {
+    return labels.edge_items
+               ? std::pair<std::size_t, std::size_t>(
+                     static_cast<std::size_t>(plan.edge_begin(s)),
+                     static_cast<std::size_t>(plan.edge_end(s)))
+               : std::pair<std::size_t, std::size_t>(
+                     static_cast<std::size_t>(plan.node_begin(s)),
+                     static_cast<std::size_t>(plan.node_end(s)));
+  };
+
+  obs::recorder* rec = probe_.rec;
+  obs::metrics* met = probe_.met;
+  if (rec == nullptr && met == nullptr) {
+    shard_->for_each_shard([&](std::size_t s) {
+      const auto [lo, hi] = range_of(s);
+      slice(s, lo, hi);
+    });
+    return;
+  }
+
+  // Shard s's body records its own end time; once the runner returns (the
+  // barrier), everything after the last shard's finish is wait — so the
+  // orchestrator can synthesize one barrier-wait span per shard without any
+  // cross-thread signalling on the hot path.
+  std::vector<std::int64_t> shard_end(rec != nullptr ? shards : 0, 0);
+  shard_->for_each_shard([&](std::size_t s) {
+    const auto [lo, hi] = range_of(s);
+    if (rec == nullptr) {
+      slice(s, lo, hi);
+      return;
+    }
+    const std::int64_t t0 = rec->now();
+    slice(s, lo, hi);
+    const std::int64_t t1 = rec->now();
+    rec->complete(labels.span, t0, t1 - t0, static_cast<std::int32_t>(s),
+                  probe_.cell, static_cast<std::int64_t>(hi - lo));
+    shard_end[s] = t1;
+  });
+  if (rec != nullptr) {
+    const std::int64_t barrier_done = rec->now();
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::int64_t wait = barrier_done - shard_end[s];
+      rec->complete(labels.barrier, shard_end[s], wait,
+                    static_cast<std::int32_t>(s), probe_.cell);
+      if (met != nullptr) {
+        met->add_barrier_wait(static_cast<std::uint64_t>(wait));
+      }
+    }
+  }
+  if (met != nullptr) {
+    const std::size_t total = labels.edge_items
+                                  ? static_cast<std::size_t>(plan.num_edges())
+                                  : static_cast<std::size_t>(plan.num_nodes());
+    met->count_phase(labels.edge_items, total);
+  }
+}
+
+sharded_stepper::phase_span::phase_span(const sharded_stepper& st,
+                                        phase_kind kind,
+                                        std::size_t items) noexcept
+    : st_(st), kind_(kind), items_(items) {
+  if (st_.probe_.rec != nullptr) start_ns_ = st_.probe_.rec->now();
+}
+
+sharded_stepper::phase_span::~phase_span() {
+  const phase_labels& labels = labels_of(static_cast<int>(kind_));
+  if (obs::recorder* rec = st_.probe_.rec; rec != nullptr) {
+    rec->complete(labels.span, start_ns_, rec->now() - start_ns_,
+                  /*shard=*/0, st_.probe_.cell,
+                  static_cast<std::int64_t>(items_));
+  }
+  if (obs::metrics* met = st_.probe_.met; met != nullptr) {
+    met->count_phase(labels.edge_items, items_);
+  }
+}
+
+void sharded_stepper::add_tokens_moved(std::uint64_t n) const noexcept {
+  if (probe_.met != nullptr && n > 0) probe_.met->add_tokens_moved(n);
+}
+
 void sharded_stepper::edge_phase(
     const std::function<void(edge_id, edge_id)>& body) const {
   if (shard_ == nullptr) {
-    body(0, shard_topology().num_edges());
+    const edge_id m = shard_topology().num_edges();
+    const phase_span span(*this, phase_kind::edge,
+                          static_cast<std::size_t>(m));
+    body(0, m);
     return;
   }
-  const shard_plan& plan = shard_->plan;
-  shard_->for_each_shard([&](std::size_t s) {
-    body(plan.edge_begin(s), plan.edge_end(s));
-  });
+  for_each_slice(phase_kind::edge,
+                 [&](std::size_t, std::size_t lo, std::size_t hi) {
+                   body(static_cast<edge_id>(lo), static_cast<edge_id>(hi));
+                 });
 }
 
 void sharded_stepper::node_phase(
     const std::function<void(node_id, node_id)>& body) const {
   if (shard_ == nullptr) {
-    body(0, shard_topology().num_nodes());
+    const node_id n = shard_topology().num_nodes();
+    const phase_span span(*this, phase_kind::node,
+                          static_cast<std::size_t>(n));
+    body(0, n);
     return;
   }
-  const shard_plan& plan = shard_->plan;
-  shard_->for_each_shard([&](std::size_t s) {
-    body(plan.node_begin(s), plan.node_end(s));
-  });
+  for_each_slice(phase_kind::node,
+                 [&](std::size_t, std::size_t lo, std::size_t hi) {
+                   body(static_cast<node_id>(lo), static_cast<node_id>(hi));
+                 });
 }
 
 real_t sharded_max_min_discrepancy(const shardable& sh) {

@@ -33,6 +33,8 @@
 // grouping is a pure function of the vector length — never the shard count.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <type_traits>
@@ -40,6 +42,7 @@
 
 #include "dlb/common/types.hpp"
 #include "dlb/graph/graph.hpp"
+#include "dlb/obs/probe.hpp"
 
 namespace dlb {
 
@@ -151,6 +154,16 @@ class sharded_stepper : public shardable {
     return shard_;
   }
 
+  /// Attaches an observability probe: every phase then emits one span per
+  /// shard (plus a barrier-wait span per shard) to the probe's recorder and
+  /// bumps its metrics counters. Pure observation — stepping stays
+  /// bit-identical (obs/probe.hpp). A default probe detaches.
+  void set_probe(const obs::probe& pb) {
+    probe_ = pb;
+    on_probe_attached(probe_);
+  }
+  [[nodiscard]] const obs::probe& probe() const noexcept { return probe_; }
+
  protected:
   /// The topology the shard plan must match (checked on enable).
   [[nodiscard]] virtual const graph& shard_topology() const = 0;
@@ -161,6 +174,17 @@ class sharded_stepper : public shardable {
       const std::shared_ptr<const shard_context>& ctx) {
     (void)ctx;
   }
+
+  /// Called after a probe is attached — the parallel hook: flow imitators
+  /// forward the probe to their internal continuous reference so its phases
+  /// report to the same cell.
+  virtual void on_probe_attached(const obs::probe& pb) { (void)pb; }
+
+  /// Credits `n` tokens physically transferred across edges to the attached
+  /// metrics (no-op without one). Processes call this from the receiving
+  /// side of their apply/receive phases, so every moved token is counted
+  /// exactly once and the total is shard-count independent.
+  void add_tokens_moved(std::uint64_t n) const noexcept;
 
   /// Pure per-edge phase: body(e0, e1) over contiguous edge ranges. The body
   /// may read any pre-phase state but write only per-edge slots in [e0, e1).
@@ -183,20 +207,59 @@ class sharded_stepper : public shardable {
                   "use int: vector<bool> bit-packs, and concurrent per-shard "
                   "writes to one word would race");
     if (shard_ == nullptr) {
-      return fold(init, body(0, shard_topology().num_nodes()));
+      const node_id n = shard_topology().num_nodes();
+      const phase_span span(*this, phase_kind::reduce,
+                            static_cast<std::size_t>(n));
+      return fold(init, body(0, n));
     }
     const shard_plan& plan = shard_->plan;
     std::vector<T> parts(plan.num_shards(), init);
-    shard_->for_each_shard([&](std::size_t s) {
-      parts[s] = body(plan.node_begin(s), plan.node_end(s));
-    });
+    for_each_slice(phase_kind::reduce,
+                   [&](std::size_t s, std::size_t lo, std::size_t hi) {
+                     parts[s] = body(static_cast<node_id>(lo),
+                                     static_cast<node_id>(hi));
+                   });
     T acc = init;
     for (const T& part : parts) acc = fold(acc, part);
     return acc;
   }
 
  private:
+  /// Which primitive a slice run belongs to — selects the span names and
+  /// whether ranges cut edges or nodes.
+  enum class phase_kind { edge, node, reduce };
+
+  /// Shared sharded loop of the three phase primitives: runs slice(s, lo,
+  /// hi) over every shard's range, emitting one phase span per shard plus
+  /// the per-shard barrier-wait spans and counter bumps when a probe is
+  /// attached. With no probe this is exactly the bare for_each_shard loop.
+  /// Requires shard_ != nullptr (the sequential paths instrument inline via
+  /// phase_span).
+  void for_each_slice(
+      phase_kind kind,
+      const std::function<void(std::size_t s, std::size_t lo, std::size_t hi)>&
+          slice) const;
+
+  /// RAII instrumentation of a *sequential* full-range phase: no-op without
+  /// a probe, otherwise one span (shard 0) plus the counter bump. Lets the
+  /// node_phase_reduce template stay free of recorder details.
+  class phase_span {
+   public:
+    phase_span(const sharded_stepper& st, phase_kind kind,
+               std::size_t items) noexcept;
+    ~phase_span();
+    phase_span(const phase_span&) = delete;
+    phase_span& operator=(const phase_span&) = delete;
+
+   private:
+    const sharded_stepper& st_;
+    phase_kind kind_;
+    std::size_t items_;
+    std::int64_t start_ns_ = 0;
+  };
+
   std::shared_ptr<const shard_context> shard_;  // null → sequential stepping
+  obs::probe probe_;  // default = observability off
 };
 
 /// Enables sharded stepping when the process implements `shardable`; returns
@@ -207,6 +270,18 @@ bool try_enable_sharding(Process& p,
                          std::shared_ptr<const shard_context> ctx) {
   if (auto* sh = dynamic_cast<shardable*>(&p)) {
     sh->enable_sharded_stepping(std::move(ctx));
+    return true;
+  }
+  return false;
+}
+
+/// Attaches an observability probe when the process steps through
+/// sharded_stepper; returns false (leaving it unobserved) otherwise. The
+/// probe counterpart of try_enable_sharding.
+template <typename Process>
+bool try_attach_probe(Process& p, const obs::probe& pb) {
+  if (auto* st = dynamic_cast<sharded_stepper*>(&p)) {
+    st->set_probe(pb);
     return true;
   }
   return false;

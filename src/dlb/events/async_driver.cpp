@@ -5,6 +5,8 @@
 #include "dlb/common/contracts.hpp"
 #include "dlb/core/metrics.hpp"
 #include "dlb/core/sharding.hpp"
+#include "dlb/obs/metrics.hpp"
+#include "dlb/obs/recorder.hpp"
 
 namespace dlb::events {
 
@@ -64,19 +66,45 @@ async_result run_async(discrete_process& d,
     // reproduces run_dynamic's "inject at the start of round t".
     while (!queue.empty() && queue.top().ev.time < round_time) {
       const event_queue::entry e = queue.pop();
+      const std::int64_t t0 =
+          opts.probe.rec != nullptr ? opts.probe.rec->now() : 0;
       switch (e.ev.kind) {
         case event_kind::arrival:
           d.inject_tokens(e.ev.node, e.ev.count);
           r.total_arrived += e.ev.count;
+          if (opts.probe.met != nullptr) {
+            opts.probe.met->add_arrivals(
+                static_cast<std::uint64_t>(e.ev.count));
+          }
           break;
-        case event_kind::service:
+        case event_kind::service: {
           r.service_attempts += e.ev.count;
-          r.tokens_served += d.drain_tokens(e.ev.node, e.ev.count);
+          const weight_t drained = d.drain_tokens(e.ev.node, e.ev.count);
+          r.tokens_served += drained;
+          if (opts.probe.met != nullptr) {
+            opts.probe.met->add_served(static_cast<std::uint64_t>(drained));
+          }
           break;
+        }
+      }
+      if (opts.probe.rec != nullptr) {
+        opts.probe.rec->complete(
+            e.ev.kind == event_kind::arrival ? "event:arrival"
+                                             : "event:service",
+            t0, opts.probe.rec->now() - t0, -1, opts.probe.cell,
+            static_cast<std::int64_t>(e.ev.count));
+      }
+      if (opts.probe.met != nullptr) {
+        opts.probe.met->add_event(queue.size());
       }
       refill(e.source);
     }
-    d.step();
+    {
+      const obs::scoped_span span(opts.probe.rec, "round", -1,
+                                  opts.probe.cell);
+      d.step();
+    }
+    if (opts.probe.met != nullptr) opts.probe.met->add_round();
     if (obs) obs(d.rounds_executed(), d);
     if (t >= warmup) {
       const real_t disc = round_discrepancy(d);

@@ -32,6 +32,10 @@ struct async_options {
   /// First round included in the steady-state statistics; negative means
   /// rounds/2, matching run_dynamic's warm-up convention.
   round_t warmup = -1;
+  /// Observability sinks (obs/probe.hpp): event-dispatch spans and
+  /// arrival/service/queue-depth counters. Default = off; attaching one
+  /// never changes the simulation (byte-identical results).
+  obs::probe probe;
 };
 
 /// Outcome of one event-driven run.

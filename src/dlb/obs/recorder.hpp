@@ -1,0 +1,135 @@
+// Lock-free-per-thread trace recorder.
+//
+// A recorder owns one append-only event buffer per participating thread.
+// Threads register themselves lazily on their first record and cache the
+// buffer pointer in a thread_local slot, so the steady-state record path is
+// a clock read plus a vector push_back on thread-private storage — no lock,
+// no atomic, no contention. The registry mutex is taken only on a thread's
+// first record against a given recorder.
+//
+// Timestamps are steady_clock nanoseconds relative to the recorder's
+// construction epoch, so spans from different threads order correctly and
+// exported microsecond values stay small.
+//
+// Reading the buffers back (events(), cells()) is only safe when no
+// instrumented work is in flight — after run_grid has returned and the pools
+// are idle. That is the natural export point and the only one dlb_run uses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dlb/obs/metrics.hpp"
+#include "dlb/obs/probe.hpp"
+
+namespace dlb::obs {
+
+/// One completed span. `name` must be a string literal (or otherwise outlive
+/// the recorder) — records store the pointer, never a copy.
+struct span_record {
+  const char* name = nullptr;
+  std::int64_t ts_ns = 0;   ///< start, ns since the recorder epoch
+  std::int64_t dur_ns = 0;  ///< duration, ns
+  std::int64_t arg = -1;    ///< span payload: items for phases, queue-wait ns
+                            ///< for pool tasks, -1 = none
+  std::uint64_t cell = no_cell;  ///< owning cell, or no_cell
+  std::uint32_t tid = 0;    ///< recorder-assigned thread index
+  std::int32_t shard = -1;  ///< shard index for per-shard phase spans
+};
+
+/// One experiment cell the recorder saw: identity plus (once the cell has
+/// finished) its metrics snapshot — the sidecar JSON rows.
+struct cell_record {
+  std::uint64_t id = 0;      ///< recorder-assigned, unique across grids
+  std::uint64_t index = 0;   ///< the grid's own cell index (repeats per grid)
+  std::string grid;
+  std::string scenario;
+  std::string process;
+  metrics_snapshot snapshot;
+  bool finished = false;
+};
+
+class recorder {
+ public:
+  recorder();
+  ~recorder();
+
+  recorder(const recorder&) = delete;
+  recorder& operator=(const recorder&) = delete;
+
+  /// Nanoseconds since the recorder epoch (steady_clock).
+  [[nodiscard]] std::int64_t now() const noexcept;
+
+  /// Appends one completed span to the calling thread's buffer. `name` must
+  /// be a string literal. Lock-free after the thread's first record.
+  void complete(const char* name, std::int64_t ts_ns, std::int64_t dur_ns,
+                std::int32_t shard = -1, std::uint64_t cell = no_cell,
+                std::int64_t arg = -1);
+
+  /// Registers one experiment cell and returns its recorder-unique id
+  /// (grid-local cell indices repeat across grids in a multi-grid run).
+  /// Thread-safe.
+  [[nodiscard]] std::uint64_t register_cell(std::string grid,
+                                            std::string scenario,
+                                            std::string process,
+                                            std::uint64_t index);
+
+  /// Stores the finished cell's metrics snapshot. Thread-safe.
+  void finish_cell(std::uint64_t id, const metrics_snapshot& snapshot);
+
+  /// All spans, merged across threads and sorted by start time. Only valid
+  /// when no instrumented work is in flight.
+  [[nodiscard]] std::vector<span_record> events() const;
+
+  /// All registered cells in registration order. Same quiescence contract.
+  [[nodiscard]] std::vector<cell_record> cells() const;
+
+ private:
+  struct buffer {
+    std::uint32_t tid = 0;
+    std::vector<span_record> spans;
+  };
+
+  /// The calling thread's buffer (registering it on first use).
+  buffer& local();
+
+  const std::uint64_t id_;  ///< distinguishes recorders in thread_local caches
+  std::int64_t epoch_ns_ = 0;  ///< steady_clock at construction
+
+  mutable std::mutex mutex_;  // guards the containers below, not their spans
+  std::vector<std::unique_ptr<buffer>> buffers_;
+  std::vector<cell_record> cells_;
+};
+
+/// RAII span: records [construction, destruction) on the probe's recorder.
+/// A null recorder makes both ends a no-op — the zero-cost-when-disabled
+/// idiom for code that cannot conveniently call complete() itself.
+class scoped_span {
+ public:
+  scoped_span(recorder* rec, const char* name, std::int32_t shard = -1,
+              std::uint64_t cell = no_cell, std::int64_t arg = -1) noexcept
+      : rec_(rec), name_(name), shard_(shard), cell_(cell), arg_(arg) {
+    if (rec_ != nullptr) start_ns_ = rec_->now();
+  }
+  ~scoped_span() {
+    if (rec_ != nullptr) {
+      rec_->complete(name_, start_ns_, rec_->now() - start_ns_, shard_, cell_,
+                     arg_);
+    }
+  }
+  scoped_span(const scoped_span&) = delete;
+  scoped_span& operator=(const scoped_span&) = delete;
+
+ private:
+  recorder* rec_;
+  const char* name_;
+  std::int64_t start_ns_ = 0;
+  std::int32_t shard_;
+  std::uint64_t cell_;
+  std::int64_t arg_;
+};
+
+}  // namespace dlb::obs

@@ -58,10 +58,13 @@ std::unique_ptr<events::trace_source> make_cell_trace(const grid_spec& spec,
 }
 
 shard_rig make_shard_rig(const graph& g, unsigned shard_threads,
-                         shard_balance balance) {
+                         shard_balance balance, obs::recorder* rec) {
   shard_rig rig;
   if (shard_threads <= 1) return rig;
   rig.pool = std::make_unique<thread_pool>(shard_threads);
+  // The shard pool's own scheduling telemetry (pool_task spans with
+  // enqueue→start latency) goes to the same recorder as the phase spans.
+  if (rec != nullptr) rig.pool->set_recorder(rec);
   thread_pool* pool = rig.pool.get();
   rig.ctx = std::make_shared<const shard_context>(shard_context{
       shard_plan(g, shard_threads, balance),
@@ -167,7 +170,12 @@ std::vector<grid_cell> expand_grid(const grid_spec& spec,
   return cells;
 }
 
-result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
+namespace {
+
+/// The cell body proper, with the observability probe threaded through the
+/// process, shard rig, and engine driver. A default probe = no observation.
+result_row run_cell_impl(const grid_spec& spec, const grid_cell& cell,
+                         const obs::probe& pb) {
   const workload::graph_case& gc = spec.graphs[cell.graph_index];
   const workload::competitor& comp = spec.processes[cell.process_index];
   const node_id n = gc.g->num_nodes();
@@ -202,14 +210,15 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
     return result;
   };
   const shard_rig rig =
-      make_shard_rig(*gc.g, spec.shard_threads, spec.cut_balance);
+      make_shard_rig(*gc.g, spec.shard_threads, spec.cut_balance, pb.rec);
   auto d = comp.build(gc.g, s, tokens, spec.comm_model, cell.seed);
   if (rig.ctx != nullptr) try_enable_sharding(*d, rig.ctx);
+  if (pb.active()) try_attach_probe(*d, pb);
   if (spec.kind == grid_kind::static_balancing) {
     auto reference =
         workload::make_continuous(spec.comm_model, gc.g, s, cell.seed);
     const experiment_result r = timed([&] {
-      return run_experiment(*d, *reference, spec.round_cap);
+      return run_experiment(*d, *reference, spec.round_cap, nullptr, pb);
     });
     row.rounds = r.rounds;
     row.converged = r.continuous_converged;
@@ -236,7 +245,7 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
     }
     const events::async_result r = timed([&] {
       return events::run_async(*d, std::move(sources),
-                               {.rounds = spec.dynamic_rounds});
+                               {.rounds = spec.dynamic_rounds, .probe = pb});
     });
     row.rounds = r.rounds;
     row.converged = false;  // no T^A gate exists for event-driven runs
@@ -264,8 +273,9 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
                       n, spec.arrivals_per_round, derive_seed(cell.seed, 1)))
             : std::make_unique<workload::burst_arrivals>(
                   spec.burst_target, spec.burst_size, spec.burst_period);
-    const dynamic_result r =
-        timed([&] { return run_dynamic(*d, *sched, spec.dynamic_rounds); });
+    const dynamic_result r = timed([&] {
+      return run_dynamic(*d, *sched, spec.dynamic_rounds, nullptr, pb);
+    });
     row.rounds = r.rounds;
     row.converged = false;  // no T^A gate exists for dynamic runs
     row.final_max_min = r.final_max_min;
@@ -274,6 +284,45 @@ result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
     row.dummy_created = d->dummy_created();
   }
   if (spec.annotate) spec.annotate(spec, cell, row);
+  return row;
+}
+
+}  // namespace
+
+result_row run_cell(const grid_spec& spec, const grid_cell& cell) {
+  if (spec.recorder == nullptr && !spec.obs_extras) {
+    return run_cell_impl(spec, cell, {});
+  }
+  // One metrics object per executing cell; shard threads bump it through
+  // the probe, and the snapshot goes to the recorder's sidecar (and, under
+  // --obs-extras, to row.extra) once the cell is done.
+  obs::metrics met;
+  obs::probe pb{spec.recorder, &met, obs::no_cell};
+  std::int64_t cell_start = 0;
+  if (spec.recorder != nullptr) {
+    pb.cell = spec.recorder->register_cell(
+        spec.name, spec.graphs[cell.graph_index].name,
+        spec.processes[cell.process_index].name, cell.index);
+    cell_start = spec.recorder->now();
+  }
+  result_row row = run_cell_impl(spec, cell, pb);
+  const obs::metrics_snapshot snap = met.take();
+  if (spec.obs_extras) {
+    // Allow-list of counters that are deterministic at any --threads /
+    // --shard-threads (experiment_grid.hpp); timing-derived metrics stay
+    // out of rows by design.
+    for (const char* key :
+         {"tokens_moved", "edges_touched", "nodes_touched", "phases",
+          "rounds"}) {
+      row.extra.push_back({std::string("obs_") + key,
+                           static_cast<real_t>(snap.counter(key))});
+    }
+  }
+  if (spec.recorder != nullptr) {
+    spec.recorder->complete("cell", cell_start,
+                            spec.recorder->now() - cell_start, -1, pb.cell);
+    spec.recorder->finish_cell(pb.cell, snap);
+  }
   return row;
 }
 

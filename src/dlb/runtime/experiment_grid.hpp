@@ -18,6 +18,7 @@
 
 #include "dlb/common/types.hpp"
 #include "dlb/core/sharding.hpp"
+#include "dlb/obs/recorder.hpp"
 #include "dlb/runtime/cost_model.hpp"
 #include "dlb/runtime/result_sink.hpp"
 #include "dlb/runtime/thread_pool.hpp"
@@ -87,6 +88,22 @@ struct grid_spec {
   /// degree distributions. Like shard_threads, a pure execution knob: rows
   /// are byte-identical for either value.
   shard_balance cut_balance = shard_balance::node_count;
+
+  /// Observability (`--trace` / `--obs-summary`): non-owning trace recorder.
+  /// When set, run_cell registers each cell with it, attaches a probe to the
+  /// cell's process, shard pool, and engine drivers (per-shard phase spans,
+  /// barrier waits, rounds, event dispatches), and hands the recorder the
+  /// cell's metrics snapshot at the end. Pure observation — rows stay
+  /// byte-identical with or without it (tests/obs_test.cpp).
+  obs::recorder* recorder = nullptr;
+
+  /// Opt-in (`--obs-extras`): append the deterministic obs counters
+  /// (obs_tokens_moved, obs_edges_touched, obs_nodes_touched, obs_phases,
+  /// obs_rounds) to row.extra. Off by default because it changes output
+  /// bytes vs a plain run; the values themselves are deterministic at any
+  /// --threads / --shard-threads (ranges partition the full entity sets and
+  /// token movement is the processes' own integer accounting).
+  bool obs_extras = false;
 
   /// Measured cost hints (`--cost-baseline`): when set, expand_grid stamps
   /// cells whose (grid, scenario, process) appears in the model with its

@@ -171,7 +171,7 @@ grid_spec dynamic_bursts_grid(const grid_options& opts,
 // Event-driven arrivals (dlb::events): a seeded Poisson token stream fires
 // at real-valued virtual times between balancing rounds instead of lock-step
 // at round starts — the Berenbrink et al. dynamic-averaging regime. With
-// `--trace FILE` an additional recorded `(time, node, count)` stream is
+// `--replay-trace FILE` an additional recorded `(time, node, count)` stream is
 // replayed alongside the Poisson source.
 grid_spec async_poisson_grid(const grid_options& opts, std::uint64_t master) {
   grid_spec spec = base_spec(opts, master, workload::model::diffusion,

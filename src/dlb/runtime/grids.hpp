@@ -46,7 +46,7 @@ struct grid_options {
   /// whole network (`--service-rate`).
   real_t service_rate = 6.0;
   /// async grids: optional `(time, node, count)` trace file replayed as an
-  /// extra event source (`--trace`).
+  /// extra event source (`--replay-trace`).
   std::string trace_path;
   /// Threads stepping a single graph's shards (`--shard-threads`). Every
   /// engine-driven grid honours it uniformly — all competitors step through

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "dlb/common/contracts.hpp"
+#include "dlb/obs/recorder.hpp"
 
 namespace dlb::runtime {
 
@@ -81,7 +82,14 @@ void thread_pool::parallel_for_each(
       std::min<std::size_t>(workers_.size(), count);
   state->pending_jobs = jobs;
 
-  const auto run_slice = [state, &body] {
+  // Per-slice tracing: one "pool_task" span from first index pulled to
+  // slice exit, carrying the enqueue→start latency. The recorder read and
+  // the clock reads are the only additions — index distribution, locking,
+  // and error handling are byte-for-byte the untraced protocol.
+  obs::recorder* const rec = recorder_;
+  const std::int64_t enqueue_ns = rec != nullptr ? rec->now() : 0;
+  const auto run_slice = [state, &body, rec, enqueue_ns] {
+    const std::int64_t start_ns = rec != nullptr ? rec->now() : 0;
     std::exception_ptr local_error;
     for (;;) {
       const std::size_t i =
@@ -94,6 +102,11 @@ void thread_pool::parallel_for_each(
         state->next.store(state->count, std::memory_order_relaxed);
         break;
       }
+    }
+    if (rec != nullptr) {
+      rec->complete("pool_task", start_ns, rec->now() - start_ns,
+                    /*shard=*/-1, obs::no_cell,
+                    /*arg=*/start_ns - enqueue_ns);
     }
     {
       const std::lock_guard<std::mutex> lock(state->done_mutex);

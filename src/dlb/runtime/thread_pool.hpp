@@ -17,6 +17,10 @@
 #include <thread>
 #include <vector>
 
+namespace dlb::obs {
+class recorder;
+}
+
 namespace dlb::runtime {
 
 class thread_pool {
@@ -50,6 +54,14 @@ class thread_pool {
   void parallel_for_each(std::size_t count,
                          const std::function<void(std::size_t)>& body);
 
+  /// Attaches a trace recorder: every parallel_for_each slice then records a
+  /// "pool_task" span carrying its enqueue→start latency, which the
+  /// --obs-summary exporter turns into per-worker utilization and queue-wait
+  /// stats. Set it before work is submitted (not thread-safe to flip while
+  /// slices run); nullptr detaches. Pure observation — scheduling and the
+  /// index distribution are untouched.
+  void set_recorder(obs::recorder* rec) noexcept { recorder_ = rec; }
+
  private:
   void worker_loop();
 
@@ -57,6 +69,7 @@ class thread_pool {
   /// parallel_for_each detect re-entrant use.
   static thread_local const thread_pool* worker_of_;
 
+  obs::recorder* recorder_ = nullptr;  // null = no tracing
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Offline summary of a `dlb_run --trace` Chrome/Perfetto trace file.
+
+Prints the same three views dlb_run's --obs-summary renders live: top span
+names by total duration, per-phase shard balance (slowest shard vs the
+mean — barrier spans excluded, their skew is definitionally inverted), and
+pool-task utilization per worker thread with enqueue->start wait stats.
+
+    tools/summarize_trace.py trace.json [--top 12]
+
+Accepts either the trace-event object form ({"traceEvents": [...]}) or a
+bare event array. Only complete ("ph": "X") events are considered; other
+phases a future exporter might add are ignored, not an error.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: trace file not found: {path}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path} is not valid JSON: {e}")
+    events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        sys.exit(f"error: {path} has no traceEvents array")
+    return [e for e in events if e.get("ph") == "X"]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace")
+    parser.add_argument("--top", type=int, default=12,
+                        help="span names to list (default 12)")
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    if not events:
+        print("no complete spans in trace")
+        return
+
+    by_name = defaultdict(lambda: [0, 0.0, 0.0])  # count, total_us, max_us
+    shard_totals = defaultdict(lambda: defaultdict(float))  # name -> shard
+    pool_busy = defaultdict(float)  # tid -> total pool_task us
+    waits_ns = []
+    t_min = min(e["ts"] for e in events)
+    t_max = max(e["ts"] + e.get("dur", 0) for e in events)
+
+    for e in events:
+        name, dur = e["name"], e.get("dur", 0)
+        st = by_name[name]
+        st[0] += 1
+        st[1] += dur
+        st[2] = max(st[2], dur)
+        span_args = e.get("args", {})
+        if "shard" in span_args and not name.startswith("barrier:"):
+            shard_totals[name][span_args["shard"]] += dur
+        if name == "pool_task":
+            pool_busy[e.get("tid", 0)] += dur
+            if "queue_wait_ns" in span_args:
+                waits_ns.append(span_args["queue_wait_ns"])
+
+    wall_ms = (t_max - t_min) / 1e3
+    total_spans = sum(st[0] for st in by_name.values())
+    print(f"== trace summary: {total_spans} spans over {wall_ms:.2f} ms ==")
+
+    print("top spans by total time:")
+    print(f"  {'name':<28}{'count':>10}{'total ms':>14}"
+          f"{'mean us':>14}{'max us':>14}")
+    ranked = sorted(by_name.items(), key=lambda kv: -kv[1][1])
+    for name, (count, total_us, max_us) in ranked[:args.top]:
+        print(f"  {name:<28}{count:>10}{total_us / 1e3:>14.2f}"
+              f"{total_us / count:>14.1f}{max_us:>14.1f}")
+
+    if shard_totals:
+        print("per-phase shard balance (totals across the run):")
+        print(f"  {'phase':<28}{'shards':>8}{'mean/shard ms':>14}"
+              f"{'slowest ms':>14}{'skew':>8}")
+        for name in sorted(shard_totals):
+            per_shard = shard_totals[name]
+            mean = sum(per_shard.values()) / len(per_shard)
+            slowest = max(per_shard.values())
+            skew = slowest / mean if mean > 0 else 1.0
+            print(f"  {name:<28}{len(per_shard):>8}{mean / 1e3:>14.2f}"
+                  f"{slowest / 1e3:>14.2f}{skew:>7.2f}x")
+
+    barrier_us = sum(st[1] for name, st in by_name.items()
+                     if name.startswith("barrier:"))
+    if barrier_us > 0:
+        print(f"barrier waits: {barrier_us / 1e3:.2f} ms total")
+
+    if pool_busy:
+        # Runs with per-cell shard pools register hundreds of mostly-idle
+        # tids — show the busiest few, fold the rest into one aggregate.
+        busiest = sorted(pool_busy.items(), key=lambda kv: -kv[1])
+        util = " ".join(
+            f"t{tid}={100.0 * busy / 1e3 / wall_ms:.0f}%" if wall_ms > 0
+            else f"t{tid}=0%"
+            for tid, busy in busiest[:8])
+        if len(busiest) > 8:
+            rest = sum(busy for _, busy in busiest[8:])
+            util += f" +{len(busiest) - 8} more totalling {rest / 1e3:.2f} ms"
+        print(f"pool tasks: utilization over the {wall_ms:.2f} ms window "
+              f"({len(busiest)} worker threads): {util}")
+        if waits_ns:
+            mean_us = sum(waits_ns) / len(waits_ns) / 1e3
+            print(f"  enqueue->start wait: mean {mean_us:.1f} us, "
+                  f"max {max(waits_ns) / 1e3:.1f} us "
+                  f"over {len(waits_ns)} tasks")
+
+
+if __name__ == "__main__":
+    main()
