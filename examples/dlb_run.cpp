@@ -40,6 +40,17 @@
 //                 the offline equivalent over a --trace file)
 //   --obs-extras  append the deterministic obs counters (obs_tokens_moved,
 //                 obs_edges_touched, ...) to every row's extras
+//   --checkpoint  persist every finished cell's row to this file (atomic
+//                 tmp+rename saves; see --checkpoint-every). A killed run
+//                 relaunched with --resume recomputes only unfinished cells
+//                 and emits byte-identical output to an uninterrupted run
+//   --checkpoint-every  save the checkpoint after this many freshly
+//                 completed cells (default 1 = after every cell)
+//   --resume      load a --checkpoint file before running (missing file =
+//                 cold start). The file's settings fingerprint must match
+//                 this invocation's row-affecting flags; execution-only
+//                 knobs (--threads, --shard-threads, --shard-balance,
+//                 --format) may differ freely. Incompatible with --stream
 //   --format      stdout/--out serialization: json (default) or csv —
 //                 same row schema, same determinism guarantees
 //   --out         also write results (with real wall_ns timing) to this file
@@ -54,6 +65,7 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -62,6 +74,7 @@
 #include "dlb/analysis/table.hpp"
 #include "dlb/obs/export.hpp"
 #include "dlb/obs/recorder.hpp"
+#include "dlb/runtime/grid_checkpoint.hpp"
 #include "dlb/runtime/grids.hpp"
 
 namespace {
@@ -122,6 +135,10 @@ int main(int argc, char** argv) {
     const runtime::sink_format format =
         runtime::parse_format(args.get("format", "json"));
     const bool want_table = args.has("table");
+    const std::string resume_path = args.get("resume", "");
+    // --resume without --checkpoint keeps saving into the resumed file.
+    const std::string ckpt_path = args.get("checkpoint", resume_path);
+    const std::int64_t ckpt_every = args.get_int("checkpoint-every", 1);
 
     for (const std::string& key : args.unused_keys()) {
       std::cerr << "unknown argument: " << key << "\n";
@@ -135,6 +152,19 @@ int main(int argc, char** argv) {
     if (stream && want_table) {
       std::cerr << "--stream does not hold rows, so it cannot render "
                    "--table; drop one of the two\n";
+      return 2;
+    }
+    if (stream && !ckpt_path.empty()) {
+      std::cerr << "--checkpoint/--resume buffer rows per grid, which "
+                   "--stream exists to avoid; drop one of the two\n";
+      return 2;
+    }
+    if (ckpt_every < 1) {
+      std::cerr << "--checkpoint-every must be >= 1\n";
+      return 2;
+    }
+    if (ckpt_path.empty() && args.has("checkpoint-every")) {
+      std::cerr << "--checkpoint-every needs --checkpoint or --resume\n";
       return 2;
     }
 
@@ -164,6 +194,33 @@ int main(int argc, char** argv) {
       specs.back().cost_hints = hints;
       specs.back().recorder = recorder.get();
       specs.back().obs_extras = obs_extras;
+    }
+
+    // Checkpoint fingerprint: every flag that affects row bytes, and none
+    // that are pure execution strategy (--threads, --shard-threads,
+    // --shard-balance, --format) — resuming across those is the point.
+    std::optional<runtime::grid_checkpoint> ckpt;
+    if (!ckpt_path.empty()) {
+      std::ostringstream fp;
+      fp << "grids=" << grid_arg << ";master-seed=" << master_seed
+         << ";n=" << opts.target_n << ";repeats=" << opts.repeats
+         << ";spike=" << opts.spike_per_node
+         << ";dynamic-rounds=" << opts.dynamic_rounds
+         << ";arrivals-per-round=" << opts.arrivals_per_round
+         << ";burst-size=" << opts.burst_size
+         << ";burst-period=" << opts.burst_period
+         << ";arrival-rate=" << opts.arrival_rate
+         << ";service-rate=" << opts.service_rate
+         << ";replay-trace=" << opts.trace_path
+         << ";obs-extras=" << (obs_extras ? 1 : 0);
+      ckpt = resume_path.empty()
+                 ? runtime::grid_checkpoint(fp.str())
+                 : runtime::grid_checkpoint::load_or_empty(resume_path,
+                                                           fp.str());
+      if (!resume_path.empty()) {
+        std::cerr << "resume: " << ckpt->size() << " completed cells loaded "
+                  << "from " << resume_path << "\n";
+      }
     }
 
     runtime::thread_pool pool(threads);
@@ -208,7 +265,12 @@ int main(int argc, char** argv) {
             });
         continue;
       }
-      auto rows = runtime::run_grid(spec, master_seed, pool);
+      auto rows =
+          ckpt.has_value()
+              ? runtime::run_grid_checkpointed(
+                    spec, master_seed, pool, *ckpt, ckpt_path,
+                    static_cast<std::uint64_t>(ckpt_every))
+              : runtime::run_grid(spec, master_seed, pool);
       if (want_table) {
         std::cerr << "\n" << spec.description << "\n";
         runtime::render_view(spec, rows).print(std::cerr);

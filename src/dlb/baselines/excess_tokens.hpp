@@ -21,11 +21,13 @@
 #include "dlb/common/rng.hpp"
 #include "dlb/core/process.hpp"
 #include "dlb/core/sharding.hpp"
+#include "dlb/snapshot/snapshot.hpp"
 
 namespace dlb {
 
 class excess_token_process final : public discrete_process,
-                                   public sharded_stepper {
+                                   public sharded_stepper,
+                                   public snapshot::checkpointable {
  public:
   excess_token_process(std::shared_ptr<const graph> g, speed_vector s,
                        std::vector<real_t> alpha, std::vector<weight_t> tokens,
@@ -54,6 +56,12 @@ class excess_token_process final : public discrete_process,
   // shardable:
   void real_load_extrema(node_id begin, node_id end, real_t& lo,
                          real_t& hi) const override;
+
+  // checkpointable: loads and the round counter — the in-flight slots are
+  // per-round scratch (cleared before every send phase), and the excess
+  // draws are counter-based on (seed, t, i).
+  void save_state(snapshot::writer& w) const override;
+  void restore_state(snapshot::reader& r) override;
 
  protected:
   [[nodiscard]] const graph& shard_topology() const override { return *g_; }

@@ -37,6 +37,7 @@
 #include "dlb/common/rng.hpp"
 #include "dlb/core/process.hpp"
 #include "dlb/core/sharding.hpp"
+#include "dlb/snapshot/snapshot.hpp"
 
 namespace dlb {
 
@@ -50,7 +51,8 @@ enum class rounding_policy {
 [[nodiscard]] std::string to_string(rounding_policy p);
 
 class local_rounding_process final : public discrete_process,
-                                     public sharded_stepper {
+                                     public sharded_stepper,
+                                     public snapshot::checkpointable {
  public:
   /// `schedule` defines the per-round α (diffusion or matching model);
   /// `tokens[i]` unit tasks start on node i; `seed` drives random roundings.
@@ -105,6 +107,11 @@ class local_rounding_process final : public discrete_process,
   // shardable:
   void real_load_extrema(node_id begin, node_id end, real_t& lo,
                          real_t& hi) const override;
+
+  // checkpointable: loads, the quasirandom accumulated error Δ̂ (genuine
+  // state for that policy), negativity counters, round counter.
+  void save_state(snapshot::writer& w) const override;
+  void restore_state(snapshot::reader& r) override;
 
  protected:
   [[nodiscard]] const graph& shard_topology() const override { return *g_; }

@@ -30,6 +30,7 @@
 #include "dlb/common/rng.hpp"
 #include "dlb/core/process.hpp"
 #include "dlb/core/sharding.hpp"
+#include "dlb/snapshot/snapshot.hpp"
 
 namespace dlb {
 
@@ -40,7 +41,8 @@ struct random_walk_config {
 };
 
 class random_walk_balancer final : public discrete_process,
-                                   public sharded_stepper {
+                                   public sharded_stepper,
+                                   public snapshot::checkpointable {
  public:
   random_walk_balancer(std::shared_ptr<const graph> g, speed_vector s,
                        std::vector<real_t> alpha,
@@ -88,6 +90,11 @@ class random_walk_balancer final : public discrete_process,
   // shardable:
   void real_load_extrema(node_id begin, node_id end, real_t& lo,
                          real_t& hi) const override;
+
+  // checkpointable: loads, walker counters (positive/negative residency),
+  // the fine-phase threshold and marked flag, round counter.
+  void save_state(snapshot::writer& w) const override;
+  void restore_state(snapshot::reader& r) override;
 
  protected:
   [[nodiscard]] const graph& shard_topology() const override { return *g_; }

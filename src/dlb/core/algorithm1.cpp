@@ -189,6 +189,43 @@ void algorithm1::on_probe_attached(const obs::probe& pb) {
   try_attach_probe(*process_, pb);
 }
 
+void algorithm1::save_state(snapshot::writer& w) const {
+  const graph& g = process_->topology();
+  w.section("algorithm1");
+  w.u64(static_cast<std::uint64_t>(g.num_nodes()));
+  w.u64(static_cast<std::uint64_t>(g.num_edges()));
+  w.u64(static_cast<std::uint64_t>(wmax_));
+  w.i64(t_);
+  w.i64(dummy_created_);
+  w.vec_int(loads_);
+  w.vec_int(last_sent_);
+  ledger_.save_state(w);
+  tasks_.save_state(w);
+  snapshot::require_checkpointable(*process_, "algorithm1's continuous process")
+      .save_state(w);
+}
+
+void algorithm1::restore_state(snapshot::reader& r) {
+  const graph& g = process_->topology();
+  r.expect_section("algorithm1");
+  r.expect_u64(static_cast<std::uint64_t>(g.num_nodes()), "node count");
+  r.expect_u64(static_cast<std::uint64_t>(g.num_edges()), "edge count");
+  r.expect_u64(static_cast<std::uint64_t>(wmax_), "w_max");
+  t_ = r.i64();
+  dummy_created_ = r.i64();
+  std::vector<weight_t> loads = r.vec_int<weight_t>();
+  std::vector<weight_t> sent = r.vec_int<weight_t>();
+  DLB_EXPECTS(t_ >= 0 && dummy_created_ >= 0);
+  DLB_EXPECTS(static_cast<node_id>(loads.size()) == g.num_nodes());
+  DLB_EXPECTS(static_cast<edge_id>(sent.size()) == g.num_edges());
+  loads_ = std::move(loads);
+  last_sent_ = std::move(sent);
+  ledger_.restore_state(r);
+  tasks_.restore_state(r);
+  snapshot::require_checkpointable(*process_, "algorithm1's continuous process")
+      .restore_state(r);
+}
+
 void algorithm1::real_load_extrema(node_id begin, node_id end, real_t& lo,
                                    real_t& hi) const {
   const speed_vector& s = process_->speeds();

@@ -25,6 +25,7 @@
 #include "dlb/core/process.hpp"
 #include "dlb/core/sharding.hpp"
 #include "dlb/core/tasks.hpp"
+#include "dlb/snapshot/snapshot.hpp"
 
 namespace dlb {
 
@@ -43,7 +44,9 @@ struct algorithm1_config {
 /// `enable_sharded_stepping` runs the phases over a shard plan with results
 /// bit-identical to the sequential round (the pool push/pop order per node
 /// is preserved exactly; see core/sharding.hpp).
-class algorithm1 final : public discrete_process, public sharded_stepper {
+class algorithm1 final : public discrete_process,
+                         public sharded_stepper,
+                         public snapshot::checkpointable {
  public:
   /// `process` is a *fresh* continuous process (it will be reset to the
   /// total-weight load vector of `initial` and stepped internally).
@@ -117,6 +120,11 @@ class algorithm1 final : public discrete_process, public sharded_stepper {
   // shardable:
   void real_load_extrema(node_id begin, node_id end, real_t& lo,
                          real_t& hi) const override;
+
+  // checkpointable: task pools (in LIFO storage order), ledger, loads,
+  // dummy counter, round counter, and the embedded continuous process.
+  void save_state(snapshot::writer& w) const override;
+  void restore_state(snapshot::reader& r) override;
 
  protected:
   [[nodiscard]] const graph& shard_topology() const override {

@@ -23,10 +23,13 @@
 #include "dlb/core/flow_ledger.hpp"
 #include "dlb/core/process.hpp"
 #include "dlb/core/sharding.hpp"
+#include "dlb/snapshot/snapshot.hpp"
 
 namespace dlb {
 
-class algorithm2 final : public discrete_process, public sharded_stepper {
+class algorithm2 final : public discrete_process,
+                         public sharded_stepper,
+                         public snapshot::checkpointable {
  public:
   /// `process` is a fresh continuous process; `tokens[i]` is the number of
   /// unit tasks initially on node i; `seed` drives the rounding coins.
@@ -90,6 +93,13 @@ class algorithm2 final : public discrete_process, public sharded_stepper {
   // shardable:
   void real_load_extrema(node_id begin, node_id end, real_t& lo,
                          real_t& hi) const override;
+
+  // checkpointable: token counts, dummy residency, ledger, round counter,
+  // and the embedded continuous process. The rounding coins are counter-based
+  // draws keyed (coin_seed_, t, e), so no RNG state is stored — the seed is
+  // fingerprinted and the round counter restores the randomness.
+  void save_state(snapshot::writer& w) const override;
+  void restore_state(snapshot::reader& r) override;
 
  protected:
   [[nodiscard]] const graph& shard_topology() const override {

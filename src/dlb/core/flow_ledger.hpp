@@ -11,6 +11,7 @@
 #include "dlb/common/contracts.hpp"
 #include "dlb/common/types.hpp"
 #include "dlb/graph/graph.hpp"
+#include "dlb/snapshot/snapshot.hpp"
 
 namespace dlb {
 
@@ -49,6 +50,29 @@ class basic_flow_ledger {
   }
 
   [[nodiscard]] const graph& topology() const { return *g_; }
+
+  /// Checkpointing: the per-edge cumulative flows (integers exactly, reals
+  /// as IEEE-754 bit patterns).
+  void save_state(snapshot::writer& w) const {
+    w.section("ledger");
+    if constexpr (std::is_floating_point_v<T>) {
+      w.vec_f64(flow_);
+    } else {
+      w.vec_int(flow_);
+    }
+  }
+
+  void restore_state(snapshot::reader& r) {
+    r.expect_section("ledger");
+    std::vector<T> flow;
+    if constexpr (std::is_floating_point_v<T>) {
+      flow = r.vec_f64();
+    } else {
+      flow = r.vec_int<T>();
+    }
+    DLB_EXPECTS(static_cast<edge_id>(flow.size()) == g_->num_edges());
+    flow_ = std::move(flow);
+  }
 
  private:
   const graph* g_;

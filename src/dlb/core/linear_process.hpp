@@ -11,6 +11,7 @@
 #include "dlb/core/process.hpp"
 #include "dlb/core/sharding.hpp"
 #include "dlb/graph/matching.hpp"
+#include "dlb/snapshot/snapshot.hpp"
 
 namespace dlb {
 
@@ -90,7 +91,8 @@ class random_matching_schedule final : public alpha_schedule {
 /// pool via `enable_sharded_stepping` with bit-identical results at any
 /// shard count (see core/sharding.hpp).
 class linear_process final : public continuous_process,
-                             public sharded_stepper {
+                             public sharded_stepper,
+                             public snapshot::checkpointable {
  public:
   linear_process(std::shared_ptr<const graph> g, speed_vector s,
                  std::unique_ptr<alpha_schedule> schedule, real_t beta,
@@ -119,6 +121,12 @@ class linear_process final : public continuous_process,
 
   [[nodiscard]] real_t beta() const { return beta_; }
   [[nodiscard]] const alpha_schedule& schedule() const { return *schedule_; }
+
+  // checkpointable: loads, previous-round flows, cumulative flows, round
+  // counter. Configuration (graph, speeds, schedule, β) is fingerprinted,
+  // not stored — restore into a freshly constructed identical process.
+  void save_state(snapshot::writer& w) const override;
+  void restore_state(snapshot::reader& r) override;
 
   // shardable:
   void real_load_extrema(node_id begin, node_id end, real_t& lo,

@@ -10,6 +10,7 @@
 
 #include "dlb/common/contracts.hpp"
 #include "dlb/common/types.hpp"
+#include "dlb/snapshot/snapshot.hpp"
 
 namespace dlb {
 
@@ -112,6 +113,11 @@ class task_pool {
     return origins_;
   }
 
+  /// Checkpointing: the pool's exact contents, *in storage order* — removal
+  /// is LIFO, so the order is state, not an implementation detail.
+  void save_state(snapshot::writer& w) const;
+  void restore_state(snapshot::reader& r);
+
  private:
   std::vector<weight_t> real_;  // weights; removal order is LIFO ("arbitrary")
   std::vector<node_id> origins_;  // parallel to real_
@@ -166,6 +172,11 @@ class task_assignment {
   void real_load_extrema(node_id begin, node_id end,
                          const std::vector<weight_t>& speeds, real_t& lo,
                          real_t& hi) const;
+
+  /// Checkpointing: every pool, in node order. restore_state requires the
+  /// assignment to span the same node count it was saved with.
+  void save_state(snapshot::writer& w) const;
+  void restore_state(snapshot::reader& r);
 
  private:
   std::vector<task_pool> pools_;

@@ -27,6 +27,12 @@ class schedule_source final : public event_source {
     return "schedule(" + sched_->name() + ")";
   }
 
+  // checkpointable: the (round, in-batch) cursor. Schedules are
+  // deterministic functions of the round, so the in-flight batch is rebuilt
+  // by replaying arrivals(t-1) instead of being stored.
+  void save_state(snapshot::writer& w) const override;
+  void restore_state(snapshot::reader& r) override;
+
  private:
   std::unique_ptr<workload::arrival_schedule> sched_;
   round_t rounds_;

@@ -1,0 +1,130 @@
+#include "dlb/runtime/grid_checkpoint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+
+#include "dlb/common/contracts.hpp"
+#include "dlb/events/event_source.hpp"
+#include "dlb/snapshot/snapshot.hpp"
+
+namespace dlb::runtime {
+
+namespace {
+constexpr std::string_view grid_section = "dlb-grid-checkpoint";
+}  // namespace
+
+bool grid_checkpoint::has(const std::string& grid, std::uint64_t cell) const {
+  return rows_.find({grid, cell}) != rows_.end();
+}
+
+const std::string* grid_checkpoint::find(const std::string& grid,
+                                         std::uint64_t cell) const {
+  const auto it = rows_.find({grid, cell});
+  return it != rows_.end() ? &it->second : nullptr;
+}
+
+void grid_checkpoint::put(const std::string& grid, const result_row& row) {
+  rows_[{grid, row.cell}] = to_json(row, timing::include);
+}
+
+void grid_checkpoint::save(const std::string& path) const {
+  snapshot::writer w;
+  w.section(grid_section);
+  w.str(fingerprint_);
+  w.u64(rows_.size());
+  for (const auto& [key, json] : rows_) {
+    w.str(key.first);
+    w.u64(key.second);
+    w.str(json);
+  }
+  w.save_file(path);
+}
+
+grid_checkpoint grid_checkpoint::load(const std::string& path,
+                                      const std::string& expected) {
+  snapshot::reader r = snapshot::reader::from_file(path);
+  r.expect_section(grid_section);
+  const std::string found = r.str();
+  if (found != expected) {
+    throw contract_violation(
+        "checkpoint: " + path +
+        " was written under different settings (its fingerprint is \"" +
+        found + "\", this run's is \"" + expected +
+        "\") — rows cannot be spliced across configurations");
+  }
+  grid_checkpoint ckpt(expected);
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t k = 0; k < count; ++k) {
+    std::string grid = r.str();
+    const std::uint64_t cell = r.u64();
+    std::string json = r.str();
+    // Re-parse on load so a hand-edited row fails here, not mid-output.
+    (void)parse_row(json);
+    ckpt.rows_[{std::move(grid), cell}] = std::move(json);
+  }
+  return ckpt;
+}
+
+grid_checkpoint grid_checkpoint::load_or_empty(const std::string& path,
+                                               const std::string& expected) {
+  if (std::ifstream probe(path, std::ios::binary); !probe) {
+    return grid_checkpoint(expected);  // cold start: nothing saved yet
+  }
+  return load(path, expected);
+}
+
+std::vector<result_row> run_grid_checkpointed(
+    const grid_spec& spec, std::uint64_t master_seed, thread_pool& pool,
+    grid_checkpoint& ckpt, const std::string& path, std::uint64_t every) {
+  DLB_EXPECTS(!path.empty() && every >= 1);
+  // Same prologue as run_grid: resolve the trace prototype once, expand.
+  const grid_spec* active = &spec;
+  grid_spec with_trace;
+  if (spec.kind == grid_kind::async_events && !spec.trace_path.empty() &&
+      spec.trace_proto == nullptr) {
+    with_trace = spec;
+    with_trace.trace_proto = std::shared_ptr<const events::trace_source>(
+        events::load_trace(spec.trace_path));
+    active = &with_trace;
+  }
+  const std::vector<grid_cell> cells = expand_grid(*active, master_seed);
+
+  // Restore cached cells; collect the rest for execution.
+  std::vector<result_row> rows(cells.size());
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (const std::string* json = ckpt.find(spec.name, cells[i].index)) {
+      rows[i] = parse_row(*json);
+    } else {
+      todo.push_back(i);
+    }
+  }
+  // Longest-first among the remaining cells (run_grid's tail-latency
+  // scheduling); pure scheduling — rows land back in cell order below.
+  std::stable_sort(todo.begin(), todo.end(), [&](std::size_t a, std::size_t b) {
+    return cells[a].cost_estimate > cells[b].cost_estimate;
+  });
+
+  std::mutex mutex;
+  std::uint64_t fresh = 0;
+  pool.parallel_for_each(todo.size(), [&](std::size_t k) {
+    const std::size_t i = todo[k];
+    result_row row = run_cell(*active, cells[i]);
+    const std::lock_guard<std::mutex> lock(mutex);
+    ckpt.put(spec.name, row);
+    rows[i] = std::move(row);
+    // Periodic saves are atomic (tmp + rename): a kill between or during
+    // saves costs at most the unsaved cells, never the file.
+    if (++fresh % every == 0) ckpt.save(path);
+  });
+  if (!todo.empty() && fresh % every != 0) ckpt.save(path);
+
+  std::sort(rows.begin(), rows.end(),
+            [](const result_row& a, const result_row& b) {
+              return a.cell < b.cell;
+            });
+  return rows;
+}
+
+}  // namespace dlb::runtime

@@ -1,0 +1,209 @@
+// dlb::snapshot — versioned, self-describing binary snapshot/restore of
+// complete run state (ROADMAP item 5: long-lived service mode).
+//
+// A snapshot is a byte-exact capture of everything a process mutates while
+// stepping: token pools, ledgers, auxiliary per-node state, round counters,
+// and (for event-driven runs) the virtual clock and pending event-queue
+// entries. RNG *engines* never appear in a snapshot — every draw in the repo
+// is a counter-based pure function of (seed, round, entity), so restoring
+// the round counter restores the randomness (docs/ARCHITECTURE.md).
+//
+// The exactness contract: restoring a snapshot into a freshly constructed
+// process of the identical configuration and continuing yields bit-identical
+// state — and therefore byte-identical result rows — to the uninterrupted
+// run, at any shard count. Configuration (graph, speeds, schedules, seeds)
+// is NOT serialized; the caller reconstructs it, and every writer embeds
+// fingerprint fields (type tag, n, m, seeds) that restore verifies, so a
+// snapshot loaded into the wrong object fails with one line instead of
+// silently diverging.
+//
+// Wire format, all little-endian fixed width:
+//   [8-byte magic "DLBSNAP\0"] [u32 version] [u64 payload size]
+//   [u64 FNV-1a checksum of payload] [payload]
+// The payload is a stream of tagged fields (a 1-byte type tag before every
+// value) so truncation, reordering, or schema drift is caught at the exact
+// field — reads throw contract_violation with a one-line message, never UB.
+// Files are written atomically (tmp + rename): a crash mid-write leaves the
+// previous snapshot intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb::snapshot {
+
+/// File magic, first 8 bytes of every snapshot.
+inline constexpr char magic[8] = {'D', 'L', 'B', 'S', 'N', 'A', 'P', '\0'};
+
+/// Format version. Bump on any wire-format change; readers reject other
+/// versions with a one-line error (tests pin this and a golden fixture).
+inline constexpr std::uint32_t format_version = 1;
+
+/// Field type tags (1 byte before every payload value).
+enum class field_tag : std::uint8_t {
+  u8 = 1,
+  u64 = 2,
+  i64 = 3,
+  f64 = 4,
+  str = 5,
+  vec_i64 = 6,
+  vec_f64 = 7,
+  section = 8,
+};
+
+/// Accumulates a snapshot payload in memory; `save_file` frames and writes
+/// it atomically.
+class writer {
+ public:
+  /// Named section marker: readers must consume it with expect_section, so
+  /// a writer/reader schema mismatch reports *which* component drifted.
+  void section(std::string_view name);
+
+  void u8(std::uint8_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  /// Doubles are stored as their IEEE-754 bit pattern — restore is bit-exact.
+  void f64(double v);
+  void str(std::string_view s);
+  void vec_f64(const std::vector<double>& v);
+
+  /// Any integral vector, stored as i64 elements (node ids, weights, rounds).
+  template <typename T>
+  void vec_int(const std::vector<T>& v) {
+    static_assert(std::is_integral_v<T>);
+    begin_vec(field_tag::vec_i64, v.size());
+    for (const T x : v) raw_u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(x)));
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& payload() const {
+    return buf_;
+  }
+
+  /// Frames the payload (magic, version, size, checksum) and writes it to
+  /// `path` atomically: the bytes land in `path + ".tmp"` first and are
+  /// renamed over `path` only after a successful close, so a crash — even a
+  /// SIGKILL — mid-write never corrupts an existing snapshot.
+  void save_file(const std::string& path) const;
+
+  /// The framed bytes (header + payload), as save_file would write them.
+  [[nodiscard]] std::vector<std::uint8_t> framed() const;
+
+ private:
+  void tag(field_tag t);
+  void raw_u32(std::uint32_t v);
+  void raw_u64(std::uint64_t v);
+  void begin_vec(field_tag t, std::size_t count);
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads a snapshot payload back, validating every field tag. All failure
+/// modes — wrong magic, version, truncation, checksum mismatch, field-type
+/// or section-name mismatch — throw contract_violation with a one-line
+/// message naming what was expected and what was found.
+class reader {
+ public:
+  /// Wraps a raw payload (as writer::payload() produced).
+  explicit reader(std::vector<std::uint8_t> payload);
+
+  /// Validates framed bytes (as writer::framed()/save_file produced) and
+  /// returns a reader over the payload.
+  [[nodiscard]] static reader from_bytes(
+      const std::vector<std::uint8_t>& framed);
+
+  /// Reads and validates `path`.
+  [[nodiscard]] static reader from_file(const std::string& path);
+
+  /// Consumes a section marker; throws unless its name is `name`.
+  void expect_section(std::string_view name);
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<double> vec_f64();
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> vec_int() {
+    static_assert(std::is_integral_v<T>);
+    const std::uint64_t count = begin_vec(field_tag::vec_i64);
+    std::vector<T> v;
+    v.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      v.push_back(static_cast<T>(static_cast<std::int64_t>(raw_u64())));
+    }
+    return v;
+  }
+
+  /// Guard helper: reads a u64 and throws unless it equals `expected`
+  /// (`what` names the field in the error).
+  void expect_u64(std::uint64_t expected, std::string_view what);
+
+  /// Guard helper: reads a string and throws unless it equals `expected`.
+  void expect_str(std::string_view expected, std::string_view what);
+
+  /// True once every payload byte has been consumed.
+  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void expect_tag(field_tag t);
+  std::uint64_t raw_u64();
+  std::uint64_t begin_vec(field_tag t);
+  void need(std::size_t bytes) const;
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Implemented by every component whose mutable run state can be captured:
+/// the five discrete competitors, the continuous linear process they embed,
+/// event sources, the event queue, and the async driver. `save_state` writes
+/// the complete mutable state (plus configuration fingerprints);
+/// `restore_state` loads it into a freshly constructed object of the
+/// identical configuration, verifying the fingerprints. See
+/// docs/ARCHITECTURE.md ("Checkpoint/resume") for how to implement it on a
+/// new process.
+class checkpointable {
+ public:
+  virtual ~checkpointable() = default;
+
+  virtual void save_state(writer& w) const = 0;
+  virtual void restore_state(reader& r) = 0;
+};
+
+/// FNV-1a 64-bit over a byte range (the payload checksum).
+[[nodiscard]] std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size);
+
+/// Cross-casts `obj` to checkpointable, or throws a one-line
+/// contract_violation naming `what` — the error a caller sees when trying
+/// to checkpoint a run built around a non-checkpointable component.
+template <typename T>
+[[nodiscard]] checkpointable& require_checkpointable(T& obj,
+                                                     std::string_view what) {
+  auto* c = dynamic_cast<checkpointable*>(&obj);
+  if (c == nullptr) {
+    throw contract_violation("snapshot: " + std::string(what) +
+                             " is not checkpointable");
+  }
+  return *c;
+}
+
+template <typename T>
+[[nodiscard]] const checkpointable& require_checkpointable(
+    const T& obj, std::string_view what) {
+  const auto* c = dynamic_cast<const checkpointable*>(&obj);
+  if (c == nullptr) {
+    throw contract_violation("snapshot: " + std::string(what) +
+                             " is not checkpointable");
+  }
+  return *c;
+}
+
+}  // namespace dlb::snapshot

@@ -1,0 +1,33 @@
+// Regenerates tests/fixtures/snapshot_v1.ckpt — the committed golden
+// snapshot that pins the wire format (tests/snapshot_test.cpp,
+// GoldenFixtureStillRestores). Only regenerate when format_version bumps;
+// the configuration here must stay in lock-step with the test.
+//
+// Not part of the CMake build (it runs once per format version):
+//   g++ -std=c++20 -Isrc tools/make_snapshot_fixture.cpp build/libdlb.a \
+//       -o /tmp/make_fixture && /tmp/make_fixture tests/fixtures/snapshot_v1.ckpt
+#include <iostream>
+
+#include "dlb/core/algorithm1.hpp"
+#include "dlb/core/diffusion_matrix.hpp"
+#include "dlb/core/engine.hpp"
+#include "dlb/core/linear_process.hpp"
+#include "dlb/graph/generators.hpp"
+#include "dlb/workload/initial_load.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlb;
+  if (argc != 2) {
+    std::cerr << "usage: make_snapshot_fixture <out.ckpt>\n";
+    return 2;
+  }
+  const auto g = std::make_shared<const graph>(generators::path(8));
+  const speed_vector s = uniform_speeds(g->num_nodes());
+  const auto tokens = workload::point_mass(g->num_nodes(), 0, 120);
+  const auto alpha = make_alphas(*g, alpha_scheme::half_max_degree);
+  algorithm1 p(make_fos(g, s, alpha), task_assignment::tokens(tokens));
+  run_rounds(p, 5);
+  save_checkpoint(p, argv[1]);
+  std::cout << "wrote " << argv[1] << "\n";
+  return 0;
+}
