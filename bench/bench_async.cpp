@@ -18,6 +18,6 @@ int main() {
   opts.arrival_rate = 10.0;
   opts.service_rate = 6.0;
   return dlb::bench::run_grid_bench("async", /*master_seed=*/29,
-                                    {{"async-poisson", opts},
-                                     {"async-service", opts}});
+                                    {{"async-poisson", opts, ""},
+                                     {"async-service", opts, ""}});
 }

@@ -85,7 +85,7 @@ inline int run_grid_bench(const std::string& file_tag,
 inline int run_grid_bench(const std::string& file_tag,
                           std::uint64_t master_seed, const std::string& grid,
                           runtime::grid_options opts = {}) {
-  return run_grid_bench(file_tag, master_seed, {{grid, opts}});
+  return run_grid_bench(file_tag, master_seed, {{grid, opts, ""}});
 }
 
 }  // namespace dlb::bench

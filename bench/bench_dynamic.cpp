@@ -15,6 +15,6 @@ int main() {
   opts.dynamic_rounds = 600;
   opts.arrivals_per_round = 10;
   return dlb::bench::run_grid_bench("dynamic", /*master_seed=*/21,
-                                    {{"dynamic-uniform", opts},
-                                     {"dynamic-bursts", opts}});
+                                    {{"dynamic-uniform", opts, ""},
+                                     {"dynamic-bursts", opts, ""}});
 }

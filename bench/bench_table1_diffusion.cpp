@@ -14,5 +14,5 @@ int main() {
   large.repeats = 3;
   dlb::runtime::grid_options base;
   return dlb::bench::run_grid_bench("table1", /*master_seed=*/7,
-                                    {{"table1", base}, {"table1", large}});
+                                    {{"table1", base, ""}, {"table1", large, ""}});
 }

@@ -14,8 +14,8 @@ int main() {
   large.repeats = 3;
   dlb::runtime::grid_options base;
   return dlb::bench::run_grid_bench("table2", /*master_seed=*/11,
-                                    {{"table2-periodic", base},
-                                     {"table2-random", base},
-                                     {"table2-periodic", large},
-                                     {"table2-random", large}});
+                                    {{"table2-periodic", base, ""},
+                                     {"table2-random", base, ""},
+                                     {"table2-periodic", large, ""},
+                                     {"table2-random", large, ""}});
 }

@@ -101,10 +101,12 @@ bool async_run::advance(const async_budget& budget,
   // snapshot) never double-consumes the sources.
   if (!primed_) prime();
 
+  // dlb-lint: allow(wall-clock): max_wall_ms only picks the pause point —
   const auto started = std::chrono::steady_clock::now();
   const auto over_wall = [&] {
     if (budget.max_wall_ms <= 0) return false;
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        // dlb-lint: allow(wall-clock): state at any pause resumes byte-exactly
         std::chrono::steady_clock::now() - started);
     return elapsed.count() >= budget.max_wall_ms;
   };

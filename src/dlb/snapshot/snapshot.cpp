@@ -103,7 +103,10 @@ void writer::vec_f64(const std::vector<double>& v) {
 std::vector<std::uint8_t> writer::framed() const {
   std::vector<std::uint8_t> out;
   out.reserve(header_size + buf_.size());
-  out.insert(out.end(), std::begin(magic), std::end(magic));
+  // Byte-wise on purpose: a ranged insert from the char array trips a GCC 12
+  // -O2 false positive (-Wstringop-overflow "writing 8 bytes into a region
+  // of size 7"), which -Werror builds would reject.
+  for (const char c : magic) out.push_back(static_cast<std::uint8_t>(c));
   const std::uint32_t version = format_version;
   for (int b = 0; b < 4; ++b) {
     out.push_back(static_cast<std::uint8_t>(version >> (8 * b)));

@@ -240,7 +240,7 @@ TEST(AsyncDriverTest, LockStepAdapterReproducesRunDynamicBitForBit) {
       std::make_unique<workload::uniform_arrivals>(n, 6, /*seed=*/13),
       rounds));
   const async_result got =
-      run_async(eventdriven, std::move(sources), {.rounds = rounds});
+      run_async(eventdriven, std::move(sources), {.rounds = rounds, .warmup = -1, .probe = {}});
 
   EXPECT_EQ(got.rounds, want.rounds);
   EXPECT_EQ(got.total_arrived, want.total_arrived);
@@ -273,7 +273,7 @@ TEST(AsyncDriverTest, OpenServiceModelConservesTokens) {
       n, /*total_rate=*/8.0, /*seed=*/3, event_kind::arrival));
   sources.push_back(std::make_unique<events::poisson_source>(
       n, /*total_rate=*/6.0, /*seed=*/4, event_kind::service));
-  const async_result r = run_async(alg, std::move(sources), {.rounds = 200});
+  const async_result r = run_async(alg, std::move(sources), {.rounds = 200, .warmup = -1, .probe = {}});
 
   EXPECT_GT(r.total_arrived, 0);
   EXPECT_GT(r.tokens_served, 0);
@@ -302,7 +302,7 @@ TEST(AsyncDriverTest, TraceEventsLandInTheirRoundInterval) {
   std::vector<std::unique_ptr<events::event_source>> sources;
   sources.push_back(std::make_unique<events::trace_source>(evs));
   const async_result r = run_async(
-      alg, std::move(sources), {.rounds = 5},
+      alg, std::move(sources), {.rounds = 5, .warmup = -1, .probe = {}},
       [&](round_t, const discrete_process& d) {
         weight_t total = 0;
         for (const weight_t w : d.loads()) total += w;
@@ -505,7 +505,7 @@ TEST(AsyncResumeTest, PoissonKillAtEveryRoundIsBitExact) {
   constexpr round_t rounds = 40;
   auto g = make_g(generators::hypercube(4));
   const auto tokens = workload::point_mass(16, 0, 64);
-  const async_options opts{.rounds = rounds};
+  const async_options opts{.rounds = rounds, .warmup = -1, .probe = {}};
 
   for (const std::size_t shards : {1u, 8u}) {
     algorithm1 ref_p(fos_on(g), task_assignment::tokens(tokens));
@@ -556,7 +556,7 @@ TEST(AsyncResumeTest, TraceKillMidStreamIsBitExact) {
       {2.0, event_kind::arrival, 1, 7},  {3.25, event_kind::service, 1, 4},
       {3.75, event_kind::arrival, 2, 11}, {5.5, event_kind::arrival, 3, 2},
   };
-  const async_options opts{.rounds = 8};
+  const async_options opts{.rounds = 8, .warmup = -1, .probe = {}};
 
   algorithm1 ref_p(fos_on(g), task_assignment::tokens(tokens));
   async_run reference(ref_p,
@@ -595,14 +595,14 @@ TEST(AsyncResumeTest, MismatchedSourcesOrOptionsAreRejected) {
   auto g = make_g(generators::hypercube(4));
   const auto tokens = workload::point_mass(16, 0, 24);
   algorithm1 p(fos_on(g), task_assignment::tokens(tokens));
-  async_run run(p, poisson_sources(), {.rounds = 10});
+  async_run run(p, poisson_sources(), {.rounds = 10, .warmup = -1, .probe = {}});
   run.advance({.max_rounds = 2});
   snapshot::writer w;
   run.save_state(w);
 
   // Different horizon.
   algorithm1 q(fos_on(g), task_assignment::tokens(tokens));
-  async_run other(q, poisson_sources(), {.rounds = 12});
+  async_run other(q, poisson_sources(), {.rounds = 12, .warmup = -1, .probe = {}});
   snapshot::reader rd(w.payload());
   EXPECT_THROW(other.restore_state(rd), contract_violation);
 
@@ -613,7 +613,7 @@ TEST(AsyncResumeTest, MismatchedSourcesOrOptionsAreRejected) {
       16, 8.0, /*seed=*/999, event_kind::arrival));
   wrong.push_back(std::make_unique<events::poisson_source>(
       16, 6.0, /*seed=*/4, event_kind::service));
-  async_run other2(q2, std::move(wrong), {.rounds = 10});
+  async_run other2(q2, std::move(wrong), {.rounds = 10, .warmup = -1, .probe = {}});
   snapshot::reader rd2(w.payload());
   EXPECT_THROW(other2.restore_state(rd2), contract_violation);
 }
@@ -623,7 +623,7 @@ TEST(AsyncResumeTest, MismatchedSourcesOrOptionsAreRejected) {
 TEST(AsyncBudgetTest, EventBudgetPausesAndResumesExactly) {
   auto g = make_g(generators::hypercube(4));
   const auto tokens = workload::point_mass(16, 0, 64);
-  const async_options opts{.rounds = 50};
+  const async_options opts{.rounds = 50, .warmup = -1, .probe = {}};
 
   algorithm1 ref_p(fos_on(g), task_assignment::tokens(tokens));
   async_run reference(ref_p, poisson_sources(), opts);
@@ -649,7 +649,7 @@ TEST(AsyncBudgetTest, EventBudgetPausesAndResumesExactly) {
 TEST(AsyncBudgetTest, WallClockBudgetTerminatesWithIdenticalResults) {
   auto g = make_g(generators::hypercube(4));
   const auto tokens = workload::point_mass(16, 0, 64);
-  const async_options opts{.rounds = 60};
+  const async_options opts{.rounds = 60, .warmup = -1, .probe = {}};
 
   algorithm1 ref_p(fos_on(g), task_assignment::tokens(tokens));
   async_run reference(ref_p, poisson_sources(), opts);
@@ -673,7 +673,7 @@ TEST(AsyncBudgetTest, RoundBudgetCountsPerCallNotPerRun) {
   auto g = make_g(generators::hypercube(4));
   algorithm1 p(fos_on(g),
                task_assignment::tokens(workload::point_mass(16, 0, 12)));
-  async_run run(p, poisson_sources(), {.rounds = 10});
+  async_run run(p, poisson_sources(), {.rounds = 10, .warmup = -1, .probe = {}});
   EXPECT_FALSE(run.advance({.max_rounds = 4}));
   EXPECT_EQ(run.round(), 4);
   EXPECT_FALSE(run.advance({.max_rounds = 4}));
@@ -687,7 +687,7 @@ TEST(AsyncBudgetTest, CheckpointedRunSurvivesAKillAtTheFileLevel) {
   const std::string path = ::testing::TempDir() + "async_resume.ckpt";
   auto g = make_g(generators::hypercube(4));
   const auto tokens = workload::point_mass(16, 0, 64);
-  const async_options opts{.rounds = 30};
+  const async_options opts{.rounds = 30, .warmup = -1, .probe = {}};
 
   algorithm1 ref_p(fos_on(g), task_assignment::tokens(tokens));
   const async_result want = run_async(ref_p, poisson_sources(), opts);

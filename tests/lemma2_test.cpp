@@ -115,10 +115,10 @@ INSTANTIATE_TEST_SUITE_P(
                                          process_kind::random_matching),
                        ::testing::Range(0, 3),
                        ::testing::Values<weight_t>(0, 1, 5)),
-    [](const ::testing::TestParamInfo<lemma2_params>& info) {
-      return kind_name(std::get<0>(info.param)) + "_g" +
-             std::to_string(std::get<1>(info.param)) + "_ell" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<lemma2_params>& tpi) {
+      return kind_name(std::get<0>(tpi.param)) + "_g" +
+             std::to_string(std::get<1>(tpi.param)) + "_ell" +
+             std::to_string(std::get<2>(tpi.param));
     });
 
 }  // namespace

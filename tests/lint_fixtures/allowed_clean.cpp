@@ -1,0 +1,73 @@
+// Must scan completely clean: near-miss identifiers that merely contain a
+// banned substring, banned patterns inside comments and string literals,
+// contract-conforming phase bodies (counter_rng), unordered containers OFF
+// the serialization path, and properly justified allow() suppressions.
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+using node_id = int;
+using edge_id = int;
+
+// Identifiers containing banned substrings are not matches.
+long wall_time() { return 0; }
+long my_clock() { return 0; }
+int my_rand() { return 4; }
+std::uint64_t make_rng_key(std::uint64_t s) { return s ^ 0x9e3779b9u; }
+struct runtime_t {
+  long uptime(int scale) { return scale; }
+};
+
+// Banned patterns inside comments and strings must not fire:
+//   std::random_device rd;  time(nullptr);  std::vector<bool> mask;
+const char* banner = "calls time(nullptr) and rand() at startup";
+
+// Unordered containers are fine off the serialization path (this file never
+// includes result_sink.hpp, directly or transitively).
+std::unordered_map<std::string, int> scratch_counts;
+
+// Counter-based draws inside phase bodies are exactly the contract.
+struct counter_rng {
+  std::uint64_t seed, key, counter = 0;
+  counter_rng(std::uint64_t s, std::uint64_t k) : seed(s), key(k) {}
+  std::uint64_t operator()() { return seed ^ key ^ counter++; }
+};
+
+struct stepper {
+  template <typename F>
+  void edge_phase(F&& body) const {
+    body(0, 8);
+  }
+
+  std::uint64_t seed_ = 7;
+  std::uint64_t sum_ = 0;
+
+  void step() {
+    edge_phase([&](edge_id e0, edge_id e1) {
+      for (edge_id e = e0; e < e1; ++e) {
+        counter_rng rng(seed_, static_cast<std::uint64_t>(e));
+        sum_ += rng() & 1u;
+      }
+    });
+  }
+};
+
+// A justified suppression on the preceding line covers the finding below it.
+long paced_poll_interval() {
+  // dlb-lint: allow(wall-clock): pacing only — the value never reaches rows
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// A justified suppression works on the same line too.
+long same_line_suppression() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // dlb-lint: allow(wall-clock): pacing only, never reaches rows
+}
+
+// vector<char> is the race-safe replacement the vector-bool rule points to.
+std::vector<char> visited_nodes;
+
+}  // namespace fixture

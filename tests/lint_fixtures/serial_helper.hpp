@@ -1,0 +1,15 @@
+// Transitivity probe for the serialization-path closure: this header sits
+// between a fixture .cpp and result_sink.hpp, so any unordered-container
+// finding in its includers proves the closure walks quoted includes rather
+// than only direct ones.  This file itself must stay clean.
+#pragma once
+
+#include "dlb/runtime/result_sink.hpp"
+
+namespace fixture {
+
+struct row_builder {
+  int rows = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Seeds [allow-needs-reason] violations: suppressions must carry a
+// justification, and must name a real rule — an empty or misspelled allow()
+// is an error, not a silent no-op, and suppresses nothing (the wall-clock
+// findings below each broken directive still fire).
+#include <chrono>
+
+namespace fixture {
+
+// dlb-lint: allow(wall-clock)  // expect: allow-needs-reason
+long bare_allow_without_reason() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // expect: wall-clock
+}
+
+// dlb-lint: allow(wall-clock):  // expect: allow-needs-reason
+long allow_with_blank_reason() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // expect: wall-clock
+}
+
+// dlb-lint: allow(wallclock): misspelled rule names suppress nothing  // expect: allow-needs-reason
+long allow_with_unknown_rule() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // expect: wall-clock
+}
+
+}  // namespace fixture

@@ -1,0 +1,58 @@
+// Seeds [phase-rng] violations: sequential RNG engines inside phase bodies.
+// A draw inside edge_phase/node_phase/node_phase_reduce (or a *_phase member
+// function) must be a counter_rng — a pure function of (seed, entity,
+// round) — because shard visit order must not move the draw an entity sees.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+using node_id = int;
+using edge_id = int;
+using rng_t = std::mt19937_64;
+
+struct stepper {
+  template <typename F>
+  void edge_phase(F&& body) const {
+    body(0, 8);
+  }
+  template <typename F>
+  void node_phase(F&& body) const {
+    body(0, 4);
+  }
+
+  std::uint64_t seed_ = 7;
+  double sum_ = 0;
+
+  // Direct engine construction inside the phase lambda.
+  void step_with_engine_in_lambda() {
+    edge_phase([&](edge_id e0, edge_id e1) {
+      rng_t gen(seed_);  // expect: phase-rng
+      for (edge_id e = e0; e < e1; ++e) sum_ += double(gen() % 2);
+    });
+  }
+
+  // Engine built through the factory helper inside the phase lambda.
+  void step_with_factory_in_lambda();
+
+  // The hoisted-body convention: a member function named *_phase is a phase
+  // body even though the engine is not lexically inside the lambda.
+  void flow_phase(edge_id e0, edge_id e1) {
+    std::mt19937 gen(42);  // expect: phase-rng
+    for (edge_id e = e0; e < e1; ++e) sum_ += double(gen() % 2);
+  }
+  void step_with_hoisted_body() {
+    edge_phase([&](edge_id e0, edge_id e1) { flow_phase(e0, e1); });
+  }
+};
+
+inline std::uint64_t make_rng_seed(std::uint64_t s) { return s * 2654435761u; }
+
+inline void stepper_factory_body(stepper& st) {
+  st.node_phase([&](node_id i0, node_id i1) {
+    auto gen = rng_t{make_rng_seed(st.seed_)};  // expect: phase-rng
+    for (node_id i = i0; i < i1; ++i) st.sum_ += double(gen() % 2);
+  });
+}
+
+}  // namespace fixture

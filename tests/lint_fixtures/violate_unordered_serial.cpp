@@ -1,0 +1,22 @@
+// Seeds [unordered-serial] violations: unordered containers in a file whose
+// include chain reaches result_sink.hpp (here: transitively, through
+// serial_helper.hpp).  Hash iteration order is implementation-defined, so
+// one libstdc++ bump could silently reorder every serialized row.
+#include <string>
+#include <unordered_map>  // expect: unordered-serial
+#include <unordered_set>  // expect: unordered-serial
+
+#include "serial_helper.hpp"
+
+namespace fixture {
+
+std::unordered_map<std::string, double> totals_by_scenario;  // expect: unordered-serial
+
+int count_rows() {
+  std::unordered_set<int> seen;  // expect: unordered-serial
+  int rows = 0;
+  for (int cell : seen) rows += cell;
+  return rows;
+}
+
+}  // namespace fixture

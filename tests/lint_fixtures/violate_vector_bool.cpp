@@ -1,0 +1,20 @@
+// Seeds [vector-bool] violations.  vector<bool> bit-packs eight elements
+// per byte, so two shards writing "different" elements race on one word —
+// this generalizes the node_phase_reduce static_assert in core/sharding.hpp
+// to every declaration in the tree.
+#include <vector>
+
+namespace fixture {
+
+std::vector<bool> visited_nodes;  // expect: vector-bool
+
+struct phase_state {
+  std::vector<bool> edge_used;  // expect: vector-bool
+  std::vector<char> edge_used_safe;
+};
+
+std::vector<bool> make_mask(int n) {  // expect: vector-bool
+  return std::vector<bool>(static_cast<unsigned>(n));  // expect: vector-bool
+}
+
+}  // namespace fixture

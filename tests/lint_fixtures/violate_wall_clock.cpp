@@ -1,0 +1,42 @@
+// Seeds one violation per wall-clock pattern: every line marked below must
+// fire [wall-clock] — nondeterministic sources outside the timing allowlist.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // expect: wall-clock
+  return rd();
+}
+
+int libc_rand() {
+  std::srand(7);      // expect: wall-clock
+  return std::rand();  // expect: wall-clock
+}
+
+long wall_seconds() {
+  return time(nullptr);  // expect: wall-clock
+}
+
+long std_qualified_time() {
+  return std::time(nullptr);  // expect: wall-clock
+}
+
+long cpu_ticks() {
+  return clock();  // expect: wall-clock
+}
+
+long std_qualified_clock() {
+  return std::clock();  // expect: wall-clock
+}
+
+long chrono_now_ns() {
+  auto t = std::chrono::steady_clock::now();  // expect: wall-clock
+  auto s = std::chrono::system_clock::now();  // expect: wall-clock
+  return t.time_since_epoch().count() + s.time_since_epoch().count();
+}
+
+}  // namespace fixture

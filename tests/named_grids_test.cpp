@@ -80,8 +80,8 @@ TEST_P(NamedGridsTest, RowsCarryMetricsAndRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllGrids, NamedGridsTest, ::testing::ValuesIn(list_grids()),
-    [](const ::testing::TestParamInfo<grid_info>& info) {
-      std::string name = info.param.name;
+    [](const ::testing::TestParamInfo<grid_info>& tpi) {
+      std::string name = tpi.param.name;
       std::replace_if(
           name.begin(), name.end(),
           [](unsigned char c) { return std::isalnum(c) == 0; }, '_');

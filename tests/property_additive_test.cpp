@@ -136,10 +136,10 @@ INSTANTIATE_TEST_SUITE_P(
                           process_kind::periodic_matching,
                           process_kind::random_matching),
         ::testing::Range(0, 4), ::testing::Bool()),
-    [](const ::testing::TestParamInfo<additive_params>& info) {
-      return kind_name(std::get<0>(info.param)) + "_g" +
-             std::to_string(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_hetero" : "_uniform");
+    [](const ::testing::TestParamInfo<additive_params>& tpi) {
+      return kind_name(std::get<0>(tpi.param)) + "_g" +
+             std::to_string(std::get<1>(tpi.param)) +
+             (std::get<2>(tpi.param) ? "_hetero" : "_uniform");
     });
 
 }  // namespace

@@ -114,11 +114,11 @@ INSTANTIATE_TEST_SUITE_P(
                           process_kind::random_matching),
         ::testing::Range(0, 3), ::testing::Bool(),
         ::testing::Values(0, 1, 8)),
-    [](const ::testing::TestParamInfo<terminating_params>& info) {
-      return kind_name(std::get<0>(info.param)) + "_g" +
-             std::to_string(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_hetero" : "_uniform") + "_ell" +
-             std::to_string(std::get<3>(info.param));
+    [](const ::testing::TestParamInfo<terminating_params>& tpi) {
+      return kind_name(std::get<0>(tpi.param)) + "_g" +
+             std::to_string(std::get<1>(tpi.param)) +
+             (std::get<2>(tpi.param) ? "_hetero" : "_uniform") + "_ell" +
+             std::to_string(std::get<3>(tpi.param));
     });
 
 }  // namespace

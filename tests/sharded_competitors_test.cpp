@@ -166,8 +166,8 @@ TEST_P(ShardedCompetitorsTest, EveryRoundMatchesAtFiveShards) {
 INSTANTIATE_TEST_SUITE_P(
     AllCompetitors, ShardedCompetitorsTest,
     ::testing::ValuesIn(all_competitors()),
-    [](const ::testing::TestParamInfo<competitor_case>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<competitor_case>& tpi) {
+      return tpi.param.name;
     });
 
 // Pool contents must match exactly for the flow imitator — removal is LIFO,
@@ -334,7 +334,7 @@ TEST(ShardPlanCutsTest, DegreeWeightedResultsEqualUniformResults) {
 TEST(ShardPlanCutsTest, ParsesBalanceNames) {
   EXPECT_EQ(parse_shard_balance("nodes"), shard_balance::node_count);
   EXPECT_EQ(parse_shard_balance("edges"), shard_balance::incident_edges);
-  EXPECT_THROW(parse_shard_balance("degree"), contract_violation);
+  EXPECT_THROW((void)parse_shard_balance("degree"), contract_violation);
 }
 
 TEST(ShardPlanEdgeCasesTest, ZeroEdgeGraphKeepsEveryShardInTheBarrier) {

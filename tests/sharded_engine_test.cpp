@@ -253,10 +253,10 @@ INSTANTIATE_TEST_SUITE_P(
         shard_rig_case{"huge-static", 2, shard_balance::node_count},
         shard_rig_case{"huge-static", 8, shard_balance::node_count},
         shard_rig_case{"huge-static", 8, shard_balance::incident_edges}),
-    [](const ::testing::TestParamInfo<shard_rig_case>& info) {
-      std::string name = info.param.grid;
-      name += "_threads_" + std::to_string(info.param.shard_threads);
-      if (info.param.balance == shard_balance::incident_edges) {
+    [](const ::testing::TestParamInfo<shard_rig_case>& tpi) {
+      std::string name = tpi.param.grid;
+      name += "_threads_" + std::to_string(tpi.param.shard_threads);
+      if (tpi.param.balance == shard_balance::incident_edges) {
         name += "_degree_cut";
       }
       std::replace(name.begin(), name.end(), '-', '_');

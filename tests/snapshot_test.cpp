@@ -367,8 +367,8 @@ TEST_P(SnapshotCrashTest, MismatchedConfigurationIsRejected) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllCompetitors, SnapshotCrashTest, ::testing::ValuesIn(all_competitors()),
-    [](const ::testing::TestParamInfo<competitor_case>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<competitor_case>& tpi) {
+      return tpi.param.name;
     });
 
 // ----------------------------------------------- engine file entry points

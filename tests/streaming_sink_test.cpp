@@ -11,6 +11,15 @@
 
 #include "dlb/runtime/grids.hpp"
 
+// GCC 12 at -O3 reports a spurious -Wrestrict from char_traits once
+// sample_row's string-literal field assignments inline into the test bodies
+// (GCC bug 105329 — the reported offsets, around ±4.6e18, are impossible for
+// a 2-byte literal). File-scoped suppression so the -Werror gate stays on
+// for every real warning class; drop when the baseline compiler moves on.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 namespace dlb::runtime {
 namespace {
 

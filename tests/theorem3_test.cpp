@@ -147,11 +147,11 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Range(0, 4),
                        ::testing::Values<weight_t>(1, 4),
                        ::testing::Bool()),
-    [](const ::testing::TestParamInfo<t3_params>& info) {
-      return kind_name(std::get<0>(info.param)) + "_g" +
-             std::to_string(std::get<1>(info.param)) + "_w" +
-             std::to_string(std::get<2>(info.param)) +
-             (std::get<3>(info.param) ? "_hetero" : "_uniform");
+    [](const ::testing::TestParamInfo<t3_params>& tpi) {
+      return kind_name(std::get<0>(tpi.param)) + "_g" +
+             std::to_string(std::get<1>(tpi.param)) + "_w" +
+             std::to_string(std::get<2>(tpi.param)) +
+             (std::get<3>(tpi.param) ? "_hetero" : "_uniform");
     });
 
 }  // namespace

@@ -121,10 +121,10 @@ INSTANTIATE_TEST_SUITE_P(
                                          process_kind::random_matching),
                        ::testing::Range(0, 3),
                        ::testing::Values<std::uint64_t>(1, 2)),
-    [](const ::testing::TestParamInfo<t8_params>& info) {
-      return kind_name(std::get<0>(info.param)) + "_g" +
-             std::to_string(std::get<1>(info.param)) + "_s" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<t8_params>& tpi) {
+      return kind_name(std::get<0>(tpi.param)) + "_g" +
+             std::to_string(std::get<1>(tpi.param)) + "_s" +
+             std::to_string(std::get<2>(tpi.param));
     });
 
 }  // namespace
