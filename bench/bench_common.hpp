@@ -12,10 +12,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <iterator>
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "dlb/runtime/grids.hpp"
@@ -31,6 +35,59 @@ struct grid_batch {
   runtime::grid_options opts;
   std::string label_suffix;
 };
+
+/// Splits a `-s<k>` shard-thread suffix off a grid name. Returns (base
+/// name, k); k = 0 when the name carries no such suffix.
+inline std::pair<std::string, unsigned> split_shard_suffix(
+    const std::string& grid) {
+  const std::size_t pos = grid.rfind("-s");
+  if (pos == std::string::npos || pos + 2 >= grid.size()) return {grid, 0};
+  unsigned k = 0;
+  for (std::size_t i = pos + 2; i < grid.size(); ++i) {
+    if (grid[i] < '0' || grid[i] > '9') return {grid, 0};
+    k = k * 10 + static_cast<unsigned>(grid[i] - '0');
+  }
+  return {grid.substr(0, pos), k};
+}
+
+/// Scaling-efficiency table over twin-batch rows: for every (base grid,
+/// cell) that has an `-s1` row, each `-s<k>` (k > 1) twin contributes a
+/// speedup (wall_s1 / wall_sk) and a parallel efficiency (speedup / k) —
+/// the quantity bench/check_regression.py tracks against the baseline.
+/// Prints nothing when the rows hold no twin pairs.
+inline void print_scaling_efficiency(
+    const std::vector<runtime::result_row>& rows, std::ostream& os) {
+  // (base grid, cell) -> (k -> wall_ns)
+  std::map<std::pair<std::string, std::uint64_t>,
+           std::map<unsigned, std::int64_t>>
+      twins;
+  for (const runtime::result_row& row : rows) {
+    const auto [base, k] = split_shard_suffix(row.grid);
+    if (k >= 1) twins[{base, row.cell}][k] = row.wall_ns;
+  }
+  bool header = false;
+  for (const auto& [key, by_k] : twins) {
+    const auto s1 = by_k.find(1);
+    if (s1 == by_k.end() || by_k.size() < 2) continue;
+    if (!header) {
+      os << "\n=== scaling efficiency (speedup vs -s1, efficiency = "
+            "speedup / threads) ===\n";
+      header = true;
+    }
+    os << "  " << std::left << std::setw(28)
+       << (key.first + "/cell" + std::to_string(key.second)) << std::right;
+    for (const auto& [k, wall] : by_k) {
+      if (k == 1 || wall <= 0) continue;
+      const double speedup = static_cast<double>(s1->second) /
+                             static_cast<double>(wall);
+      char col[64];
+      std::snprintf(col, sizeof(col), "  s%u: %.2fx (eff %.2f)", k, speedup,
+                    speedup / static_cast<double>(k));
+      os << col;
+    }
+    os << "\n";
+  }
+}
 
 /// Runs every batch on one shared pool and writes the combined rows to
 /// BENCH_<file_tag>.json. When a grid name repeats across batches (size
@@ -66,6 +123,7 @@ inline int run_grid_bench(const std::string& file_tag,
     rows.insert(rows.end(), std::make_move_iterator(batch_rows.begin()),
                 std::make_move_iterator(batch_rows.end()));
   }
+  print_scaling_efficiency(rows, std::cout);
   const std::string path = "BENCH_" + file_tag + ".json";
   std::ofstream out(path);
   runtime::write_json(out, rows, runtime::timing::include);

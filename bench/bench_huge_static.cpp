@@ -1,14 +1,16 @@
 // Sharded static balancing at scale: the `huge-static` grid (full
 // competitor set on a hypercube and a random 4-regular expander, run to the
-// continuous balancing time T^A) at n ≈ 1M, once sequentially and once at 8
-// shard threads. The probe loop — measure_balancing_time calling
-// is_balanced every round — is sharded alongside every competitor's rounds,
-// so the whole cell scales, not just the stepping. Metric rows are
-// byte-identical across the `-s1` / `-s8` batches; compare their `wall_ns`
-// per cell for the intra-graph speedup.
+// continuous balancing time T^A) at n ≈ 1M, across the 1/2/4/8 shard-thread
+// ladder. The probe loop — measure_balancing_time calling is_balanced every
+// round — is sharded alongside every competitor's rounds, so the whole cell
+// scales, not just the stepping. Metric rows are byte-identical across the
+// `-s<k>` batches; the trailing scaling-efficiency table (and the
+// parallel-efficiency gate in bench/check_regression.py) compares their
+// `wall_ns` per cell: speedup = wall_s1 / wall_sk, efficiency = speedup / k.
 //
 // Budget: minutes on a multicore box (T^A on the dim-20 hypercube is a few
-// hundred rounds over m ≈ 10M edges, times the competitor set).
+// hundred rounds over m ≈ 10M edges, times the competitor set and now the
+// thread ladder).
 #include "bench_common.hpp"
 
 int main() {
@@ -18,12 +20,14 @@ int main() {
   opts.spike_per_node = 2;
   opts.repeats = 2;
 
-  grid_batch one{"huge-static", opts, "-s1"};
-  one.opts.shard_threads = 1;
-  grid_batch eight{"huge-static", opts, "-s8"};
-  eight.opts.shard_threads = 8;
+  std::vector<grid_batch> batches;
+  for (const unsigned k : {1u, 2u, 4u, 8u}) {
+    grid_batch batch{"huge-static", opts, "-s" + std::to_string(k)};
+    batch.opts.shard_threads = k;
+    batches.push_back(batch);
+  }
 
   return dlb::bench::run_grid_bench("huge_static", /*master_seed=*/37,
-                                    {one, eight},
+                                    batches,
                                     /*cell_threads=*/1);
 }

@@ -1,17 +1,18 @@
 // Sharded huge-graph stepping: the `huge-uniform` grid (the full competitor
 // set on ring / torus / hypercube under a uniform dynamic token stream) at
-// n ≈ 1M and 4M, run at 1 and at 8 shard threads. Every batch produces
-// byte-identical metric rows — sharding is an execution strategy, not a
-// model change — so the only column that moves across batches is `wall_ns`:
-// compare the `huge-uniform-n…-s1` rows against their `-s8` twins in
-// BENCH_huge_uniform.json for the intra-graph speedup (the n = 1M Alg1
-// diffusion cells are the headline; expect ≥ 3× on an 8-core machine, the
-// matching rows a little worse — their per-round α-schedule stays
-// sequential).
+// n ≈ 1M across the 1/2/4/8 shard-thread ladder, plus a 4M anchor at 8.
+// Every batch produces byte-identical metric rows — sharding is an
+// execution strategy, not a model change — so the only column that moves
+// across batches is `wall_ns`: the trailing scaling-efficiency table (and
+// the parallel-efficiency gate in bench/check_regression.py) compares the
+// `huge-uniform-n…-s1` rows against each `-s<k>` twin (the n = 1M Alg1
+// diffusion cells are the headline; expect ≥ 3× at s8 on an 8-core
+// machine, the matching rows a little worse — their per-round α-schedule
+// stays sequential).
 //
 // Budget: tens of minutes on a multicore box, dominated by the hypercube
-// cells (m ≈ 10 n) times the widened competitor set. Needs a few GB of RAM
-// for the 4M-node batch.
+// cells (m ≈ 10 n) times the widened competitor set and the thread ladder.
+// Needs a few GB of RAM for the 4M-node batch.
 #include "bench_common.hpp"
 
 int main() {
@@ -23,19 +24,22 @@ int main() {
   opts.spike_per_node = 2;
   opts.repeats = 2;  // full competitor set now: bound the randomized rows
 
-  grid_batch one{"huge-uniform", opts, "-s1"};
-  one.opts.shard_threads = 1;
-  grid_batch eight{"huge-uniform", opts, "-s8"};
-  eight.opts.shard_threads = 8;
+  std::vector<grid_batch> batches;
+  for (const unsigned k : {1u, 2u, 4u, 8u}) {
+    grid_batch batch{"huge-uniform", opts, "-s" + std::to_string(k)};
+    batch.opts.shard_threads = k;
+    batches.push_back(batch);
+  }
   // The 4M batch bounds the large end of the 1M–4M regime; sharded only
-  // (the sequential twin would double the bench's runtime for no new
-  // comparison — the 1M pair already anchors the speedup).
+  // (a full ladder there would multiply the bench's runtime for no new
+  // comparison — the 1M ladder already anchors the efficiency curve).
   grid_batch four_m{"huge-uniform", opts, "-s8"};
   four_m.opts.target_n = 1 << 22;  // ring 2^22, torus 2048², hypercube dim 22
   four_m.opts.shard_threads = 8;
   four_m.opts.dynamic_rounds = 100;
+  batches.push_back(four_m);
 
   return dlb::bench::run_grid_bench("huge_uniform", /*master_seed=*/31,
-                                    {one, eight, four_m},
+                                    batches,
                                     /*cell_threads=*/1);
 }

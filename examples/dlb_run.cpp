@@ -10,7 +10,12 @@
 //   --threads     worker threads (default: hardware concurrency)
 //   --shard-threads  threads stepping a single graph's shards (default 1;
 //                 every engine-driven grid honours it — rows are
-//                 byte-identical for any value)
+//                 byte-identical for any value). A comma list (e.g. 1,8)
+//                 runs every selected grid once per value, suffixing the
+//                 grid name with -s<k> — the twin-batch form the
+//                 parallel-efficiency regression gate compares
+//                 (bench/check_regression.py). Incompatible with
+//                 --checkpoint/--resume
 //   --shard-balance  what the shard plan's node cut balances: nodes
 //                 (default) or edges (incident-edge work, for skewed degree
 //                 distributions) — byte-identical either way
@@ -38,6 +43,18 @@
 //   --obs-summary print a human span/shard-skew/pool-utilization summary to
 //                 stderr after the grids finish (tools/summarize_trace.py is
 //                 the offline equivalent over a --trace file)
+//   --obs-summary-top  how many of the busiest worker tids the summary's
+//                 pool-utilization line names individually (default 8; the
+//                 rest fold into an explicit "+N more" aggregate)
+//   --obs-profile sample hardware counters (cycles, instructions, cache
+//                 refs/misses, branch misses) around every phase slice,
+//                 fold them with the per-shard spans into a skew report
+//                 (stderr table), and write the "dlb-profile-v1" JSON
+//                 sidecar. Falls back to wall-clock-only profiling where
+//                 perf_event_open is unavailable (one stderr notice).
+//                 Observation only: stdout rows stay byte-identical
+//   --obs-profile-out  profile sidecar path (default dlb_profile.json;
+//                 implies --obs-profile)
 //   --obs-extras  append the deterministic obs counters (obs_tokens_moved,
 //                 obs_edges_touched, ...) to every row's extras
 //   --checkpoint  persist every finished cell's row to this file (atomic
@@ -73,6 +90,7 @@
 #include "dlb/analysis/args.hpp"
 #include "dlb/analysis/table.hpp"
 #include "dlb/obs/export.hpp"
+#include "dlb/obs/prof.hpp"
 #include "dlb/obs/recorder.hpp"
 #include "dlb/runtime/grid_checkpoint.hpp"
 #include "dlb/runtime/grids.hpp"
@@ -119,12 +137,30 @@ int main(int argc, char** argv) {
     opts.arrival_rate = args.get_real("arrival-rate", opts.arrival_rate);
     opts.service_rate = args.get_real("service-rate", opts.service_rate);
     opts.trace_path = args.get("replay-trace", opts.trace_path);
-    opts.shard_threads = static_cast<unsigned>(
-        args.get_int("shard-threads", opts.shard_threads));
+    // --shard-threads accepts a comma list: each value runs every selected
+    // grid once, with the grid name suffixed -s<k> when more than one value
+    // is given (single values keep the plain name — the common case and the
+    // historical output bytes).
+    std::vector<unsigned> shard_thread_list;
+    for (const std::string& item :
+         split_csv(args.get("shard-threads", "1"))) {
+      const unsigned long k = std::stoul(item);
+      if (k < 1) {
+        std::cerr << "--shard-threads values must be >= 1\n";
+        return 2;
+      }
+      shard_thread_list.push_back(static_cast<unsigned>(k));
+    }
+    if (shard_thread_list.empty()) shard_thread_list.push_back(1);
     opts.shard_cut = parse_shard_balance(args.get("shard-balance", "nodes"));
     const std::string cost_baseline = args.get("cost-baseline", "");
     const std::string trace_out = args.get("trace", "");
     const bool obs_summary = args.has("obs-summary");
+    const std::int64_t summary_top = args.get_int("obs-summary-top", 8);
+    const bool obs_profile =
+        args.has("obs-profile") || args.has("obs-profile-out");
+    const std::string profile_out =
+        args.get("obs-profile-out", "dlb_profile.json");
     const bool obs_extras = args.has("obs-extras");
     const bool stream = args.has("stream");
     const auto master_seed =
@@ -167,6 +203,20 @@ int main(int argc, char** argv) {
       std::cerr << "--checkpoint-every needs --checkpoint or --resume\n";
       return 2;
     }
+    if (summary_top < 1) {
+      std::cerr << "--obs-summary-top must be >= 1\n";
+      return 2;
+    }
+    if (args.has("obs-summary-top") && !obs_summary) {
+      std::cerr << "--obs-summary-top needs --obs-summary\n";
+      return 2;
+    }
+    if (shard_thread_list.size() > 1 && !ckpt_path.empty()) {
+      std::cerr << "--shard-threads with several values renames grids "
+                   "(-s<k> suffixes), which the checkpoint fingerprint "
+                   "cannot track; run the values separately\n";
+      return 2;
+    }
 
     std::shared_ptr<const runtime::cost_model> hints;
     if (!cost_baseline.empty()) {
@@ -180,9 +230,17 @@ int main(int argc, char** argv) {
     // One recorder per run: the cell pool, every cell's shard pool, and
     // every engine driver report into it; exporters read it after the pool
     // is idle. --obs-summary alone still records (it only skips the file).
+    // --obs-profile needs it too: the skew analyzer joins counter samples
+    // against the recorder's cell registry and barrier spans.
     std::unique_ptr<obs::recorder> recorder;
-    if (!trace_out.empty() || obs_summary) {
+    if (!trace_out.empty() || obs_summary || obs_profile) {
       recorder = std::make_unique<obs::recorder>();
+    }
+    // Declared after the recorder and before the pools, so every pool (and
+    // with it every sampling thread) is gone before the profiler goes away.
+    std::unique_ptr<obs::prof::profiler> profiler;
+    if (obs_profile) {
+      profiler = std::make_unique<obs::prof::profiler>();
     }
 
     // Build every grid spec up front: an unknown grid name or bad config
@@ -190,10 +248,17 @@ int main(int argc, char** argv) {
     // and a begun stream has already emitted its framing.
     std::vector<runtime::grid_spec> specs;
     for (const std::string& name : split_csv(grid_arg)) {
-      specs.push_back(runtime::make_named_grid(name, opts, master_seed));
-      specs.back().cost_hints = hints;
-      specs.back().recorder = recorder.get();
-      specs.back().obs_extras = obs_extras;
+      for (const unsigned shard_threads : shard_thread_list) {
+        opts.shard_threads = shard_threads;
+        specs.push_back(runtime::make_named_grid(name, opts, master_seed));
+        if (shard_thread_list.size() > 1) {
+          specs.back().name += "-s" + std::to_string(shard_threads);
+        }
+        specs.back().cost_hints = hints;
+        specs.back().recorder = recorder.get();
+        specs.back().profiler = profiler.get();
+        specs.back().obs_extras = obs_extras;
+      }
     }
 
     // Checkpoint fingerprint: every flag that affects row bytes, and none
@@ -225,6 +290,7 @@ int main(int argc, char** argv) {
 
     runtime::thread_pool pool(threads);
     if (recorder != nullptr) pool.set_recorder(recorder.get());
+    if (profiler != nullptr) pool.set_profiler(profiler.get());
     // --out opens lazily: streaming must write as rows arrive, but the
     // buffered path opens (and truncates) only after every grid succeeded,
     // so a mid-run failure leaves a previous results file intact.
@@ -303,7 +369,23 @@ int main(int argc, char** argv) {
         std::cerr << "wrote trace to " << trace_out << " and metrics to "
                   << sidecar_path << "\n";
       }
-      if (obs_summary) obs::write_summary(std::cerr, *recorder);
+      if (obs_summary) {
+        obs::summary_options sopts;
+        sopts.top_tids = static_cast<std::size_t>(summary_top);
+        obs::write_summary(std::cerr, *recorder, sopts);
+      }
+      if (profiler != nullptr) {
+        const obs::prof::profile_report report =
+            obs::prof::analyze_profile(*recorder, *profiler);
+        std::ofstream profile_file(profile_out);
+        if (!profile_file) {
+          std::cerr << "cannot open " << profile_out << "\n";
+          return false;
+        }
+        obs::prof::write_profile_json(profile_file, report);
+        obs::prof::write_profile_table(std::cerr, report);
+        std::cerr << "wrote profile to " << profile_out << "\n";
+      }
       return true;
     };
 

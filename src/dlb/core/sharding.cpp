@@ -138,7 +138,8 @@ void sharded_stepper::for_each_slice(
 
   obs::recorder* rec = probe_.rec;
   obs::metrics* met = probe_.met;
-  if (rec == nullptr && met == nullptr) {
+  obs::prof::profiler* prf = probe_.prf;
+  if (rec == nullptr && met == nullptr && prf == nullptr) {
     shard_->for_each_shard([&](std::size_t s) {
       const auto [lo, hi] = range_of(s);
       slice(s, lo, hi);
@@ -153,13 +154,26 @@ void sharded_stepper::for_each_slice(
   std::vector<std::int64_t> shard_end(rec != nullptr ? shards : 0, 0);
   shard_->for_each_shard([&](std::size_t s) {
     const auto [lo, hi] = range_of(s);
+    // The counter read brackets exactly the slice body, on the thread that
+    // runs it — perf fds measure the calling thread, so the deltas are this
+    // shard's own cycles/misses, not the pool's.
+    const obs::prof::hw_reading p0 =
+        prf != nullptr ? prf->begin() : obs::prof::hw_reading{};
     if (rec == nullptr) {
       slice(s, lo, hi);
+      if (prf != nullptr) {
+        prf->complete(labels.span, static_cast<std::int32_t>(s), probe_.cell,
+                      p0);
+      }
       return;
     }
     const std::int64_t t0 = rec->now();
     slice(s, lo, hi);
     const std::int64_t t1 = rec->now();
+    if (prf != nullptr) {
+      prf->complete(labels.span, static_cast<std::int32_t>(s), probe_.cell,
+                    p0);
+    }
     rec->complete(labels.span, t0, t1 - t0, static_cast<std::int32_t>(s),
                   probe_.cell, static_cast<std::int64_t>(hi - lo));
     shard_end[s] = t1;
@@ -187,6 +201,7 @@ sharded_stepper::phase_span::phase_span(const sharded_stepper& st,
                                         phase_kind kind,
                                         std::size_t items) noexcept
     : st_(st), kind_(kind), items_(items) {
+  if (st_.probe_.prf != nullptr) prof_start_ = st_.probe_.prf->begin();
   if (st_.probe_.rec != nullptr) start_ns_ = st_.probe_.rec->now();
 }
 
@@ -196,6 +211,9 @@ sharded_stepper::phase_span::~phase_span() {
     rec->complete(labels.span, start_ns_, rec->now() - start_ns_,
                   /*shard=*/0, st_.probe_.cell,
                   static_cast<std::int64_t>(items_));
+  }
+  if (obs::prof::profiler* prf = st_.probe_.prf; prf != nullptr) {
+    prf->complete(labels.span, /*shard=*/0, st_.probe_.cell, prof_start_);
   }
   if (obs::metrics* met = st_.probe_.met; met != nullptr) {
     met->count_phase(labels.edge_items, items_);

@@ -43,6 +43,7 @@
 #include "dlb/common/types.hpp"
 #include "dlb/graph/graph.hpp"
 #include "dlb/obs/probe.hpp"
+#include "dlb/obs/prof.hpp"
 
 namespace dlb {
 
@@ -256,6 +257,7 @@ class sharded_stepper : public shardable {
     phase_kind kind_;
     std::size_t items_;
     std::int64_t start_ns_ = 0;
+    obs::prof::hw_reading prof_start_;  // counters at phase entry (if prf)
   };
 
   std::shared_ptr<const shard_context> shard_;  // null → sequential stepping

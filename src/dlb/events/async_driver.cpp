@@ -8,6 +8,7 @@
 #include "dlb/core/metrics.hpp"
 #include "dlb/core/sharding.hpp"
 #include "dlb/obs/metrics.hpp"
+#include "dlb/obs/prof.hpp"
 #include "dlb/obs/recorder.hpp"
 
 namespace dlb::events {
@@ -61,6 +62,9 @@ void async_run::prime() {
 }
 
 void async_run::dispatch(const event_queue::entry& e) {
+  const obs::prof::hw_reading p0 = opts_.probe.prf != nullptr
+                                       ? opts_.probe.prf->begin()
+                                       : obs::prof::hw_reading{};
   const std::int64_t t0 =
       opts_.probe.rec != nullptr ? opts_.probe.rec->now() : 0;
   switch (e.ev.kind) {
@@ -80,6 +84,11 @@ void async_run::dispatch(const event_queue::entry& e) {
       }
       break;
     }
+  }
+  if (opts_.probe.prf != nullptr) {
+    opts_.probe.prf->complete(
+        e.ev.kind == event_kind::arrival ? "event:arrival" : "event:service",
+        -1, opts_.probe.cell, p0);
   }
   if (opts_.probe.rec != nullptr) {
     opts_.probe.rec->complete(
@@ -136,6 +145,8 @@ bool async_run::advance(const async_budget& budget,
     {
       const obs::scoped_span span(opts_.probe.rec, "round", -1,
                                   opts_.probe.cell);
+      const obs::prof::scoped_sample sample(opts_.probe.prf, "round", -1,
+                                            opts_.probe.cell);
       d_->step();
     }
     if (opts_.probe.met != nullptr) opts_.probe.met->add_round();

@@ -125,7 +125,8 @@ void write_metrics_sidecar(std::ostream& os, const recorder& rec) {
   os << "\n]\n";
 }
 
-void write_summary(std::ostream& os, const recorder& rec) {
+void write_summary(std::ostream& os, const recorder& rec,
+                   const summary_options& options) {
   const std::vector<span_record> events = rec.events();
   if (events.empty()) {
     os << "obs: no spans recorded\n";
@@ -235,7 +236,8 @@ void write_summary(std::ostream& os, const recorder& rec) {
     std::sort(busiest.rbegin(), busiest.rend());
     os << "pool tasks: utilization over the " << std::setprecision(2)
        << wall_ms << " ms window (" << busiest.size() << " worker threads):";
-    const std::size_t shown = std::min<std::size_t>(busiest.size(), 8);
+    const std::size_t shown =
+        std::min<std::size_t>(busiest.size(), options.top_tids);
     for (std::size_t i = 0; i < shown; ++i) {
       os << " t" << busiest[i].second << "=" << std::setprecision(0)
          << (wall_ms > 0 ? 100.0 * ms(busiest[i].first) / wall_ms : 0.0)

@@ -25,11 +25,14 @@
 
 namespace dlb::obs {
 
-/// Power-of-two bucket histogram: value v lands in bucket bit_width(v)
-/// (0 → bucket 0), i.e. bucket b >= 1 covers [2^(b-1), 2^b).
+/// Power-of-two bucket histogram: value v lands in bucket bit_width(v).
+/// Bucket 0 holds exactly {0}; bucket b >= 1 covers [2^(b-1), 2^b). The top
+/// value 2^64-1 has bit width 64, so 65 buckets are needed — with 64 the
+/// whole top octave [2^63, 2^64) indexed one past the array
+/// (tests/obs_test.cpp pins every boundary).
 class histogram {
  public:
-  static constexpr std::size_t num_buckets = 64;
+  static constexpr std::size_t num_buckets = 65;
 
   void add(std::uint64_t value) noexcept {
     const std::size_t b =

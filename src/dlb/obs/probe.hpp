@@ -16,19 +16,26 @@ namespace dlb::obs {
 class recorder;
 class metrics;
 
+namespace prof {
+class profiler;
+}
+
 /// Sentinel for spans not attributed to any experiment cell.
 inline constexpr std::uint64_t no_cell = ~std::uint64_t{0};
 
-/// Non-owning handles to the active recorder/metrics plus the cell id the
-/// spans should be attributed to. Default-constructed = observability off.
+/// Non-owning handles to the active recorder/metrics/profiler plus the cell
+/// id the spans should be attributed to. Default-constructed =
+/// observability off. `prf` sits after `cell` so the pre-profiler aggregate
+/// initializations ({rec, met, cell}) keep their meaning.
 struct probe {
   recorder* rec = nullptr;  ///< span sink, or nullptr (no tracing)
   metrics* met = nullptr;   ///< counter sink, or nullptr (no counting)
   std::uint64_t cell = no_cell;  ///< recorder cell id (recorder::register_cell)
+  prof::profiler* prf = nullptr;  ///< hw-counter sink, or nullptr (no prof)
 
   /// True when any sink is attached — the single branch disabled paths take.
   [[nodiscard]] bool active() const noexcept {
-    return rec != nullptr || met != nullptr;
+    return rec != nullptr || met != nullptr || prf != nullptr;
   }
 };
 

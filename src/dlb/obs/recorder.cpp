@@ -98,4 +98,15 @@ std::vector<cell_record> recorder::cells() const {
   return cells_;
 }
 
+recorder_footprint recorder::footprint() const {
+  recorder_footprint fp;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fp.threads = buffers_.size();
+  for (const auto& buf : buffers_) {
+    fp.spans += buf->spans.size();
+    fp.bytes += buf->spans.capacity() * sizeof(span_record);
+  }
+  return fp;
+}
+
 }  // namespace dlb::obs

@@ -40,6 +40,13 @@ struct span_record {
   std::int32_t shard = -1;  ///< shard index for per-shard phase spans
 };
 
+/// Allocation accounting for a recorder's span buffers.
+struct recorder_footprint {
+  std::uint64_t threads = 0;  ///< per-thread buffers registered
+  std::uint64_t spans = 0;    ///< spans held across all buffers
+  std::uint64_t bytes = 0;    ///< capacity actually reserved
+};
+
 /// One experiment cell the recorder saw: identity plus (once the cell has
 /// finished) its metrics snapshot — the sidecar JSON rows.
 struct cell_record {
@@ -86,6 +93,11 @@ class recorder {
 
   /// All registered cells in registration order. Same quiescence contract.
   [[nodiscard]] std::vector<cell_record> cells() const;
+
+  /// Buffer footprint (threads registered, spans held, bytes reserved) —
+  /// surfaced by the profile sidecar's memory section. Same quiescence
+  /// contract as events().
+  [[nodiscard]] recorder_footprint footprint() const;
 
  private:
   struct buffer {

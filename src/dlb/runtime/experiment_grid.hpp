@@ -97,6 +97,15 @@ struct grid_spec {
   /// byte-identical with or without it (tests/obs_test.cpp).
   obs::recorder* recorder = nullptr;
 
+  /// Profiling (`--obs-profile`): non-owning hardware-counter profiler.
+  /// When set (always alongside `recorder`, which supplies the cell
+  /// registry and barrier spans the skew analyzer joins against), run_cell
+  /// threads it through the same probe as the recorder: per-shard phase
+  /// slices, pool tasks, rounds, and event dispatches each sample the five
+  /// counters. Pure observation — rows stay byte-identical with it on or
+  /// off (tests/prof_test.cpp).
+  obs::prof::profiler* profiler = nullptr;
+
   /// Opt-in (`--obs-extras`): append the deterministic obs counters
   /// (obs_tokens_moved, obs_edges_touched, obs_nodes_touched, obs_phases,
   /// obs_rounds) to row.extra. Off by default because it changes output

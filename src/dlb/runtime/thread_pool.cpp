@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "dlb/common/contracts.hpp"
+#include "dlb/obs/prof.hpp"
 #include "dlb/obs/recorder.hpp"
 
 namespace dlb::runtime {
@@ -87,8 +88,11 @@ void thread_pool::parallel_for_each(
   // the clock reads are the only additions — index distribution, locking,
   // and error handling are byte-for-byte the untraced protocol.
   obs::recorder* const rec = recorder_;
+  obs::prof::profiler* const prf = profiler_;
   const std::int64_t enqueue_ns = rec != nullptr ? rec->now() : 0;
-  const auto run_slice = [state, &body, rec, enqueue_ns] {
+  const auto run_slice = [state, &body, rec, prf, enqueue_ns] {
+    const obs::prof::hw_reading p0 =
+        prf != nullptr ? prf->begin() : obs::prof::hw_reading{};
     const std::int64_t start_ns = rec != nullptr ? rec->now() : 0;
     std::exception_ptr local_error;
     for (;;) {
@@ -102,6 +106,9 @@ void thread_pool::parallel_for_each(
         state->next.store(state->count, std::memory_order_relaxed);
         break;
       }
+    }
+    if (prf != nullptr) {
+      prf->complete("pool_task", /*shard=*/-1, obs::no_cell, p0);
     }
     if (rec != nullptr) {
       rec->complete("pool_task", start_ns, rec->now() - start_ns,

@@ -19,7 +19,10 @@
 
 namespace dlb::obs {
 class recorder;
+namespace prof {
+class profiler;
 }
+}  // namespace dlb::obs
 
 namespace dlb::runtime {
 
@@ -62,6 +65,11 @@ class thread_pool {
   /// index distribution are untouched.
   void set_recorder(obs::recorder* rec) noexcept { recorder_ = rec; }
 
+  /// Attaches a profiler: every slice then samples the hardware-counter
+  /// deltas it consumed (name "pool_task", shard -1). Same contract as
+  /// set_recorder: set while idle, nullptr detaches, pure observation.
+  void set_profiler(obs::prof::profiler* prf) noexcept { profiler_ = prf; }
+
  private:
   void worker_loop();
 
@@ -69,7 +77,8 @@ class thread_pool {
   /// parallel_for_each detect re-entrant use.
   static thread_local const thread_pool* worker_of_;
 
-  obs::recorder* recorder_ = nullptr;  // null = no tracing
+  obs::recorder* recorder_ = nullptr;         // null = no tracing
+  obs::prof::profiler* profiler_ = nullptr;   // null = no counter sampling
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;

@@ -1,0 +1,48 @@
+// Seeds one violation per prof-syscall pattern: hardware-counter syscalls
+// and /proc/self reads are only legal inside obs/prof.{hpp,cpp} — this file
+// is not on that allowlist, so every marked line must fire [prof-syscall].
+// A mention of perf_event_open in a comment (like this one) must NOT fire;
+// neither must the /proc/self spelled out in this sentence.
+#include <cstdint>
+#include <cstdio>
+
+extern "C" long syscall(long number, ...);
+
+namespace fixture {
+
+// The syscall has no libc wrapper, so ad-hoc callers reach for the raw
+// number under one of its three conventional spellings.
+#define FIXTURE_NR_PERF 298
+
+int open_counter_group_directly() {
+  long nr = FIXTURE_NR_PERF;
+  (void)nr;
+  return static_cast<int>(syscall(/*SYS*/ 298, nullptr, 0, -1, -1, 0UL));
+}
+
+int spelled_wrapper() {
+  // Calling a local helper named like the syscall is the same violation.
+  extern int perf_event_open(void*, int, int, int, unsigned long);  // expect: prof-syscall
+  return perf_event_open(nullptr, 0, -1, -1, 0UL);  // expect: prof-syscall
+}
+
+long raw_syscall_number() {
+  extern long SYS_perf_event_open;  // expect: prof-syscall
+  return SYS_perf_event_open + 0;   // expect: prof-syscall
+}
+
+long raw_nr_spelling() {
+  extern long __NR_perf_event_open;  // expect: prof-syscall
+  return __NR_perf_event_open;       // expect: prof-syscall
+}
+
+std::uint64_t read_vm_hwm_kb() {
+  // The path lives in a string literal: the rule must see through the
+  // comment-strip while still ignoring prose mentions in comments.
+  std::FILE* f = std::fopen("/proc/self/status", "r");  // expect: prof-syscall
+  if (f == nullptr) return 0;
+  std::fclose(f);
+  return 1;
+}
+
+}  // namespace fixture

@@ -8,10 +8,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dlb/core/algorithm1.hpp"
@@ -178,6 +180,39 @@ TEST(ObsSpanTest, SpanNestingIsWellFormedPerThread) {
   }
 }
 
+// --------------------------------------------------- histogram bucketing
+
+TEST(ObsMetricsTest, HistogramBucketBoundariesArePinned) {
+  // v lands in bucket bit_width(v): 0 is its own bucket, every power of two
+  // opens the next one, and the top octave [2^63, 2^64) needs bucket 64 —
+  // the regression this pins had num_buckets = 64, so any value with the
+  // top bit set indexed one past the bucket array.
+  obs::histogram h;
+  h.add(0);                                          // bucket 0: exactly {0}
+  h.add(1);                                          // bucket 1: [1, 2)
+  h.add(2);                                          // bucket 2: [2, 4)
+  h.add(3);                                          // bucket 2
+  h.add(4);                                          // bucket 3: [4, 8)
+  h.add(7);                                          // bucket 3
+  h.add(std::uint64_t{1} << 62);                     // bucket 63: [2^62, 2^63)
+  h.add((std::uint64_t{1} << 63) - 1);               // bucket 63
+  h.add(std::uint64_t{1} << 63);                     // bucket 64: [2^63, 2^64)
+  h.add(std::numeric_limits<std::uint64_t>::max());  // bucket 64
+  static_assert(obs::histogram::num_buckets == 65,
+                "64 buckets cannot hold bit widths 0..64");
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap[0], 1u);
+  EXPECT_EQ(snap[1], 1u);
+  EXPECT_EQ(snap[2], 2u);
+  EXPECT_EQ(snap[3], 2u);
+  EXPECT_EQ(snap[62], 0u);
+  EXPECT_EQ(snap[63], 2u);
+  EXPECT_EQ(snap[64], 2u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : snap) total += count;
+  EXPECT_EQ(total, 10u) << "every sample must land in exactly one bucket";
+}
+
 // --------------------------------------------------- counter conservation
 
 TEST(ObsCountersTest, TokensMovedMatchesReceiverAccounting) {
@@ -285,6 +320,45 @@ TEST(ObsExportTest, MetricsSidecarCarriesPerCellCounters) {
   EXPECT_NE(text.find("\"rounds\""), std::string::npos);
   EXPECT_NE(text.find("\"finished\":true"), std::string::npos);
   EXPECT_NE(text.find("\"process\""), std::string::npos);
+}
+
+TEST(ObsExportTest, SummaryTopTidsIsConfigurable) {
+  // Four worker threads, each with one pool_task span of a distinct
+  // duration. top_tids = 2 must show the two busiest and fold the other
+  // two into one aggregate; the default (8) shows all four.
+  obs::recorder rec;
+  std::vector<std::thread> workers;
+  for (int i = 1; i <= 4; ++i) {
+    workers.emplace_back([&rec, i] {
+      rec.complete("pool_task", /*ts_ns=*/0, /*dur_ns=*/i * 1000000);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const auto tid_entries = [](const std::string& text) {
+    std::size_t count = 0;
+    for (std::size_t pos = text.find(" t"); pos != std::string::npos;
+         pos = text.find(" t", pos + 1)) {
+      if (pos + 2 < text.size() && text[pos + 2] >= '0' &&
+          text[pos + 2] <= '9') {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  obs::summary_options top2;
+  top2.top_tids = 2;
+  std::ostringstream capped;
+  obs::write_summary(capped, rec, top2);
+  EXPECT_NE(capped.str().find("4 worker threads"), std::string::npos);
+  EXPECT_EQ(tid_entries(capped.str()), 2u) << capped.str();
+  EXPECT_NE(capped.str().find("+2 more"), std::string::npos) << capped.str();
+
+  std::ostringstream full;
+  obs::write_summary(full, rec);
+  EXPECT_EQ(tid_entries(full.str()), 4u) << full.str();
+  EXPECT_EQ(full.str().find("more"), std::string::npos) << full.str();
 }
 
 TEST(ObsExportTest, SummaryReportsShardSkewAndPhases) {

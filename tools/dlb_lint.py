@@ -9,8 +9,9 @@ code shapes that *could* violate the contract, at review time:
   wall-clock        std::random_device, rand()/srand(), time()/clock(),
                     gettimeofday/clock_gettime, and <chrono> clock ::now()
                     reads anywhere outside the timing allowlist
-                    (runtime/wall_timer.hpp, obs/recorder.cpp).  Wall-clock
-                    values must never reach algorithmic state.
+                    (runtime/wall_timer.hpp, obs/recorder.cpp,
+                    obs/prof.cpp).  Wall-clock values must never reach
+                    algorithmic state.
   phase-rng         sequential RNG engines (rng_t/mt19937/make_rng) inside
                     edge_phase/node_phase/node_phase_reduce bodies.  Phase
                     bodies run once per shard in shard-dependent order, so a
@@ -30,6 +31,13 @@ code shapes that *could* violate the contract, at review time:
                     sum regrouped across shards changes bits; route totals
                     through blocked_sum (core/sharding.hpp), whose grouping
                     is a pure function of the vector length.
+  prof-syscall      perf_event_open (incl. the raw SYS_/__NR_ syscall
+                    numbers) and /proc/self reads anywhere outside
+                    obs/prof.{hpp,cpp}.  Hardware counters and RSS sampling
+                    must go through dlb::obs::prof, which owns the
+                    fd-lifetime rules and the graceful-fallback contract; an
+                    ad-hoc reader would leak fds across shard pools or crash
+                    where the syscall is blocked.
 
 Escape hatch: a finding is suppressed by an allow directive with a
 justification, on the same line or the line directly above:
@@ -60,11 +68,19 @@ CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".h", ".cxx", ".hxx"}
 WALL_CLOCK_ALLOWLIST = (
     "runtime/wall_timer.hpp",
     "obs/recorder.cpp",
+    "obs/prof.cpp",
 )
 
 # The serialization root: any file whose include chain reaches this header
 # can feed bytes into rows, so its iteration orders must be deterministic.
 SERIAL_ROOT_SUFFIX = "runtime/result_sink.hpp"
+
+# The one place allowed to open hardware counters and read /proc/self: the
+# profiling backend, which owns the fd-lifetime and fallback contracts.
+PROF_SYSCALL_ALLOWLIST = (
+    "obs/prof.cpp",
+    "obs/prof.hpp",
+)
 
 # The optional trailing "// expect:" branch lets the self-test fixtures mark
 # a deliberately-broken directive on its own line.
@@ -79,6 +95,7 @@ RULES = (
     "unordered-serial",
     "vector-bool",
     "float-reduce",
+    "prof-syscall",
     "allow-needs-reason",
 )
 
@@ -128,6 +145,41 @@ def strip_comments_and_strings(text: str) -> str:
             for k in range(i + 1, min(j, n)):
                 if out[k] != "\n":
                     out[k] = " "
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def strip_comments(text: str) -> str:
+    """Like strip_comments_and_strings, but keeps string literal contents:
+    the prof-syscall rule must see "/proc/self/status" inside an fopen call,
+    while a prose mention in a comment stays exempt."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            for k in range(i, j):
+                out[k] = " "
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            for k in range(i, j + 2):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j + 2
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                j += 1
             i = j + 1
         else:
             i += 1
@@ -250,7 +302,7 @@ WALL_CLOCK_PATTERNS = (
     (re.compile(
         r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now"),
      "chrono clock reads are banned outside the timing allowlist "
-     "(runtime/wall_timer.hpp, obs/recorder.cpp)"),
+     "(runtime/wall_timer.hpp, obs/recorder.cpp, obs/prof.cpp)"),
 )
 
 PHASE_RNG_PATTERNS = (
@@ -269,6 +321,9 @@ VECTOR_BOOL_RE = re.compile(r"\bvector\s*<\s*bool\s*>")
 FLOAT_REDUCE_RE = re.compile(
     r"\bnode_phase_reduce\s*<\s*(?:real_t|double|float)\b")
 PHASE_ACCUMULATE_RE = re.compile(r"\bstd\s*::\s*(?:accumulate|reduce)\s*\(")
+PERF_SYSCALL_RE = re.compile(
+    r"\b(?:perf_event_open|SYS_perf_event_open|__NR_perf_event_open)\b")
+PROC_SELF_RE = re.compile(r"/proc/self")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
 
 
@@ -401,6 +456,23 @@ def lint_file(path: Path, display: Path, on_serial_path: bool):
                 "std::accumulate/std::reduce in a phase body: per-shard "
                 "ranges would regroup the sum — use blocked_sum for floats "
                 "or an explicit integer loop")
+
+    if not any(posix.endswith(sfx) for sfx in PROF_SYSCALL_ALLOWLIST):
+        # The syscall name is an identifier; the /proc/self paths it reads
+        # live in string literals, so match those on the comment-only strip
+        # (a prose mention in a comment stays exempt either way).
+        for m in PERF_SYSCALL_RE.finditer(code):
+            report(
+                m.start(), "prof-syscall",
+                "perf_event_open outside obs/prof: hardware counters must "
+                "go through dlb::obs::prof::profiler, which owns fd "
+                "lifetime and the graceful-fallback contract")
+        for m in PROC_SELF_RE.finditer(strip_comments(text)):
+            report(
+                m.start(), "prof-syscall",
+                "/proc/self read outside obs/prof: memory/self-inspection "
+                "must go through dlb::obs::prof::sample_memory so fallback "
+                "and schema stay in one place")
 
     return violations
 

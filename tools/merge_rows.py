@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Merge dlb_run/BENCH row files into one array, last file wins per
+(grid, cell) — how the perf baseline combines the plain run with the
+twin-batch scaling run (docs/REPRODUCING.md documents the full command).
+
+    tools/merge_rows.py out.json in1.json in2.json [...]
+
+Rows keep their first-seen order so a regenerated baseline diffs cleanly
+against the previous one. Exit 2 on unreadable/malformed input.
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    out_path, in_paths = sys.argv[1], sys.argv[2:]
+    merged = {}
+    for path in in_paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                rows = json.load(f)
+            for row in rows:
+                merged[(row["grid"], row["cell"])] = row
+        except (OSError, ValueError, TypeError, KeyError) as e:
+            print(f"error: {path}: {e}", file=sys.stderr)
+            return 2
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write("[\n")
+        f.write(",\n".join(
+            "  " + json.dumps(row, separators=(",", ":"))
+            for row in merged.values()))
+        f.write("\n]\n")
+    print(f"wrote {len(merged)} rows from {len(in_paths)} file(s) "
+          f"to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
