@@ -34,10 +34,9 @@ void excess_token_process::real_load_extrema(node_id begin, node_id end,
 
 // Phase 0 (per edge): reset the in-flight slots (a zero-load node writes
 // nothing in the send phase, so stale counts must not survive the round).
-void excess_token_process::clear_phase(edge_id e0, edge_id e1) {
-  for (edge_id e = e0; e < e1; ++e) {
-    in_flight_[static_cast<size_t>(e)] = edge_tokens{};
-  }
+void excess_token_process::clear_phase(const edge_slice& es) {
+  es.for_each(
+      [&](edge_id e) { in_flight_[static_cast<size_t>(e)] = edge_tokens{}; });
 }
 
 // Phase 1 (per sender node): floor sends to every neighbour, then `excess`
@@ -140,7 +139,7 @@ void excess_token_process::restore_state(snapshot::reader& r) {
 }
 
 void excess_token_process::step() {
-  edge_phase([&](edge_id e0, edge_id e1) { clear_phase(e0, e1); });
+  edge_phase([&](const edge_slice& es) { clear_phase(es); });
   node_phase([&](node_id i0, node_id i1) { send_phase(i0, i1); });
   node_phase([&](node_id i0, node_id i1) { apply_phase(i0, i1); });
   ++t_;

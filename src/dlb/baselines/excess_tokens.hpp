@@ -74,7 +74,7 @@ class excess_token_process final : public discrete_process,
     weight_t from_v = 0;
   };
 
-  void clear_phase(edge_id e0, edge_id e1);
+  void clear_phase(const edge_slice& es);
   void send_phase(node_id i0, node_id i1);
   void apply_phase(node_id i0, node_id i1);
 

@@ -52,22 +52,22 @@ void local_rounding_process::real_load_extrema(node_id begin, node_id end,
 // round-start loads, quasirandom's Δ̂ is per-edge state, and the randomized
 // policies draw a counter-based coin keyed (seed, t, e) — so the decision is
 // a pure per-edge function, identical for any edge partition.
-void local_rounding_process::round_phase(edge_id e0, edge_id e1) {
+void local_rounding_process::round_phase(const edge_slice& es) {
   const graph& g = *g_;
   const std::uint64_t round_seed =
       derive_seed(coin_seed_, static_cast<std::uint64_t>(t_));
   weight_t moved = 0;  // gross tokens sent over this slice's edges (obs only)
-  for (edge_id e = e0; e < e1; ++e) {
+  es.for_each([&](edge_id e) {
     edge_sent_[static_cast<size_t>(e)] = 0;
     const real_t a = alpha_buf_[static_cast<size_t>(e)];
-    if (a == 0) continue;
+    if (a == 0) return;
     const edge& ed = g.endpoints(e);
     const real_t mi = static_cast<real_t>(loads_[static_cast<size_t>(ed.u)]) /
                       static_cast<real_t>(s_[static_cast<size_t>(ed.u)]);
     const real_t mj = static_cast<real_t>(loads_[static_cast<size_t>(ed.v)]) /
                       static_cast<real_t>(s_[static_cast<size_t>(ed.v)]);
     const real_t prescription = a * (mi - mj);  // oriented u→v
-    if (std::abs(prescription) < flow_epsilon) continue;
+    if (std::abs(prescription) < flow_epsilon) return;
 
     const bool u_sends = prescription > 0;
     const real_t amount = std::abs(prescription);
@@ -104,10 +104,10 @@ void local_rounding_process::round_phase(edge_id e0, edge_id e1) {
         break;
       }
     }
-    if (sent == 0) continue;
+    if (sent == 0) return;
     edge_sent_[static_cast<size_t>(e)] = u_sends ? sent : -sent;
     moved += sent;
-  }
+  });
   add_tokens_moved(static_cast<std::uint64_t>(moved));
 }
 
@@ -161,12 +161,22 @@ void local_rounding_process::restore_state(snapshot::reader& r) {
 
 void local_rounding_process::step() {
   if (!alphas_cached_) {
-    schedule_->alphas(t_, alpha_buf_);
-    DLB_ASSERT(static_cast<edge_id>(alpha_buf_.size()) == g_->num_edges());
+    if (schedule_->ranged_fill()) {
+      // Sharded α fill (see linear_process::step): sequential prologue,
+      // then per-slice writes covering every edge slot.
+      alpha_buf_.resize(static_cast<size_t>(g_->num_edges()));
+      schedule_->begin_round(t_);
+      edge_phase([&](const edge_slice& es) {
+        schedule_->fill_alphas(t_, alpha_buf_.data(), es);
+      });
+    } else {
+      schedule_->alphas(t_, alpha_buf_);
+      DLB_ASSERT(static_cast<edge_id>(alpha_buf_.size()) == g_->num_edges());
+    }
     alphas_cached_ = schedule_->time_invariant();
   }
 
-  edge_phase([&](edge_id e0, edge_id e1) { round_phase(e0, e1); });
+  edge_phase([&](const edge_slice& es) { round_phase(es); });
   const negativity neg = node_phase_reduce<negativity>(
       negativity{},
       [&](node_id i0, node_id i1) { return apply_phase(i0, i1); },

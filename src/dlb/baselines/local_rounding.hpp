@@ -123,7 +123,7 @@ class local_rounding_process final : public discrete_process,
     std::int64_t events = 0;
     weight_t min_load = 0;
   };
-  void round_phase(edge_id e0, edge_id e1);
+  void round_phase(const edge_slice& es);
   [[nodiscard]] negativity apply_phase(node_id i0, node_id i1);
 
   std::shared_ptr<const graph> g_;

@@ -55,10 +55,10 @@ void random_walk_balancer::real_load_extrema(node_id begin, node_id end,
 
 // Coarse phase 1 (per edge): the round-down FOS prescription, signed u→v —
 // a pure function of the round-start loads.
-void random_walk_balancer::coarse_flow_phase(edge_id e0, edge_id e1) {
+void random_walk_balancer::coarse_flow_phase(const edge_slice& es) {
   const graph& g = *g_;
   weight_t moved = 0;  // gross tokens sent over this slice's edges (obs only)
-  for (edge_id e = e0; e < e1; ++e) {
+  es.for_each([&](edge_id e) {
     edge_sent_[static_cast<size_t>(e)] = 0;
     const edge& ed = g.endpoints(e);
     const real_t diff =
@@ -67,10 +67,10 @@ void random_walk_balancer::coarse_flow_phase(edge_id e0, edge_id e1) {
          static_cast<real_t>(loads_[static_cast<size_t>(ed.v)]));
     const weight_t sent =
         static_cast<weight_t>(std::floor(std::abs(diff) + flow_epsilon));
-    if (sent == 0) continue;
+    if (sent == 0) return;
     edge_sent_[static_cast<size_t>(e)] = diff > 0 ? sent : -sent;
     moved += sent;
-  }
+  });
   add_tokens_moved(static_cast<std::uint64_t>(moved));
 }
 
@@ -82,7 +82,7 @@ void random_walk_balancer::coarse_apply_phase(node_id i0, node_id i1) {
 }
 
 void random_walk_balancer::coarse_step() {
-  edge_phase([&](edge_id e0, edge_id e1) { coarse_flow_phase(e0, e1); });
+  edge_phase([&](const edge_slice& es) { coarse_flow_phase(es); });
   node_phase([&](node_id i0, node_id i1) { coarse_apply_phase(i0, i1); });
 }
 
@@ -114,10 +114,9 @@ void random_walk_balancer::mark_tokens() {
   tokens_marked_ = true;
 }
 
-void random_walk_balancer::clear_walks_phase(edge_id e0, edge_id e1) {
-  for (edge_id e = e0; e < e1; ++e) {
-    walks_[static_cast<size_t>(e)] = walk_counts{};
-  }
+void random_walk_balancer::clear_walks_phase(const edge_slice& es) {
+  es.for_each(
+      [&](edge_id e) { walks_[static_cast<size_t>(e)] = walk_counts{}; });
 }
 
 // Fine phase 1 (per origin node): every walker takes one lazy random-walk
@@ -201,7 +200,7 @@ std::int64_t random_walk_balancer::settle_phase(node_id i0, node_id i1) {
 
 void random_walk_balancer::fine_step() {
   if (!tokens_marked_) mark_tokens();
-  edge_phase([&](edge_id e0, edge_id e1) { clear_walks_phase(e0, e1); });
+  edge_phase([&](const edge_slice& es) { clear_walks_phase(es); });
   node_phase([&](node_id i0, node_id i1) { walk_phase(i0, i1); });
   negative_events_ += node_phase_reduce<std::int64_t>(
       0, [&](node_id i0, node_id i1) { return settle_phase(i0, i1); },

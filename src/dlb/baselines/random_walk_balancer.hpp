@@ -105,13 +105,13 @@ class random_walk_balancer final : public discrete_process,
   void mark_tokens();  // entering phase 2: derive walkers from loads
 
   // Coarse phases (round-down diffusion on the discrete loads).
-  void coarse_flow_phase(edge_id e0, edge_id e1);
+  void coarse_flow_phase(const edge_slice& es);
   void coarse_apply_phase(node_id i0, node_id i1);
 
   // Fine phases: clear walk slots (per edge), walk every token (per origin
   // node, counter-based draws), apply moves + annihilate (per node; returns
   // the shard's negative-load event count).
-  void clear_walks_phase(edge_id e0, edge_id e1);
+  void clear_walks_phase(const edge_slice& es);
   void walk_phase(node_id i0, node_id i1);
   [[nodiscard]] std::int64_t settle_phase(node_id i0, node_id i1);
 

@@ -64,8 +64,8 @@ weight_t algorithm1::drain_tokens(node_id i, weight_t count) {
 // u→v, with near-integer values snapped to kill float dust. Also resets the
 // edge's transfer set and last-sent record for this round. Reads only
 // pre-round state, so any edge partition computes identical bits.
-void algorithm1::deficit_phase(edge_id e0, edge_id e1) {
-  for (edge_id e = e0; e < e1; ++e) {
+void algorithm1::deficit_phase(const edge_slice& es) {
+  es.for_each([&](edge_id e) {
     real_t deficit = process_->cumulative_flow(e) -
                      static_cast<real_t>(ledger_.forward(e));
     const real_t snapped = std::round(deficit);
@@ -78,7 +78,7 @@ void algorithm1::deficit_phase(edge_id e0, edge_id e1) {
     out.real_origins.clear();
     out.dummy_count = 0;
     out.total = 0;
-  }
+  });
 }
 
 // Phase 2 (per node): each node allocates tasks to the transfer sets of the
@@ -169,7 +169,7 @@ void algorithm1::step() {
   // (itself sharded when sharding is enabled).
   process_->step();
 
-  edge_phase([&](edge_id e0, edge_id e1) { deficit_phase(e0, e1); });
+  edge_phase([&](const edge_slice& es) { deficit_phase(es); });
   dummy_created_ += node_phase_reduce<weight_t>(
       0, [&](node_id i0, node_id i1) { return send_phase(i0, i1); },
       [](weight_t a, weight_t b) { return a + b; });

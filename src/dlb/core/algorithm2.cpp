@@ -99,18 +99,18 @@ void algorithm2::on_probe_attached(const obs::probe& pb) {
 // (seed, t, e) — a pure function of the edge and round, independent of
 // visit order — and the ledger record is a per-edge write with exactly one
 // writer. Transfers are synchronous: decisions see only round-start state.
-void algorithm2::decide_phase(edge_id e0, edge_id e1) {
+void algorithm2::decide_phase(const edge_slice& es) {
   const graph& g = process_->topology();
   const std::uint64_t round_seed =
       derive_seed(coin_seed_, static_cast<std::uint64_t>(t_));
-  for (edge_id e = e0; e < e1; ++e) {
+  es.for_each([&](edge_id e) {
     edge_send& out = sends_[static_cast<size_t>(e)];
     out = edge_send{};
     real_t deficit = process_->cumulative_flow(e) -
                      static_cast<real_t>(ledger_.forward(e));
     const real_t snapped = std::round(deficit);
     if (std::abs(deficit - snapped) < flow_epsilon) deficit = snapped;
-    if (deficit == 0) continue;
+    if (deficit == 0) return;
 
     const edge& ed = g.endpoints(e);
     const bool from_u = deficit > 0;
@@ -122,12 +122,12 @@ void algorithm2::decide_phase(edge_id e0, edge_id e1) {
       counter_rng coin(round_seed, static_cast<std::uint64_t>(e));
       if (bernoulli(coin, frac)) ++y;
     }
-    if (y == 0) continue;
+    if (y == 0) return;
 
     ledger_.record(e, from_u ? ed.u : ed.v, y);
     out.y = y;
     out.from_u = from_u;
-  }
+  });
 }
 
 // Phase 2 (per sender node): resolve each sender's real/dummy token
@@ -237,7 +237,7 @@ void algorithm2::restore_state(snapshot::reader& r) {
 void algorithm2::step() {
   process_->step();
 
-  edge_phase([&](edge_id e0, edge_id e1) { decide_phase(e0, e1); });
+  edge_phase([&](const edge_slice& es) { decide_phase(es); });
   dummy_created_ += node_phase_reduce<weight_t>(
       0, [&](node_id i0, node_id i1) { return mint_phase(i0, i1); },
       [](weight_t a, weight_t b) { return a + b; });

@@ -123,7 +123,7 @@ class algorithm2 final : public discrete_process,
 
   // One round's phases; ranges are one shard's slice. The mint phase
   // returns the shard's dummy mint count.
-  void decide_phase(edge_id e0, edge_id e1);
+  void decide_phase(const edge_slice& es);
   [[nodiscard]] weight_t mint_phase(node_id i0, node_id i1);
   void apply_phase(node_id i0, node_id i1);
 

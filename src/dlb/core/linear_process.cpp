@@ -24,6 +24,24 @@ periodic_matching_schedule::periodic_matching_schedule(
         matching_alpha(s[static_cast<size_t>(ed.u)],
                        s[static_cast<size_t>(ed.v)]);
   }
+  // Invert matchings → per-edge slot rows (counting-sort CSR build; the
+  // outer loops visit matchings in index order, so every row comes out
+  // sorted without an explicit sort).
+  slot_offsets_.assign(static_cast<size_t>(num_edges_) + 1, 0);
+  for (const matching& m : matchings_) {
+    for (const edge_id e : m) ++slot_offsets_[static_cast<size_t>(e) + 1];
+  }
+  for (size_t e = 0; e < static_cast<size_t>(num_edges_); ++e) {
+    slot_offsets_[e + 1] += slot_offsets_[e];
+  }
+  slot_values_.resize(slot_offsets_[static_cast<size_t>(num_edges_)]);
+  std::vector<std::uint32_t> fill(slot_offsets_.begin(),
+                                  slot_offsets_.end() - 1);
+  for (std::uint32_t slot = 0; slot < matchings_.size(); ++slot) {
+    for (const edge_id e : matchings_[slot]) {
+      slot_values_[fill[static_cast<size_t>(e)]++] = slot;
+    }
+  }
 }
 
 void periodic_matching_schedule::alphas(round_t t,
@@ -34,6 +52,18 @@ void periodic_matching_schedule::alphas(round_t t,
   for (const edge_id e : m) {
     out[static_cast<size_t>(e)] = edge_alpha_[static_cast<size_t>(e)];
   }
+}
+
+void periodic_matching_schedule::fill_alphas(round_t t, real_t* out,
+                                             const edge_slice& es) const {
+  const auto slot = static_cast<std::uint32_t>(
+      static_cast<size_t>(t) % matchings_.size());
+  es.for_each([&](edge_id e) {
+    const std::uint32_t* lo = slot_values_.data() + slot_offsets_[static_cast<size_t>(e)];
+    const std::uint32_t* hi = slot_values_.data() + slot_offsets_[static_cast<size_t>(e) + 1];
+    const bool active = std::binary_search(lo, hi, slot);
+    out[e] = active ? edge_alpha_[static_cast<size_t>(e)] : 0.0;
+  });
 }
 
 std::unique_ptr<alpha_schedule> periodic_matching_schedule::clone() const {
@@ -65,6 +95,31 @@ void random_matching_schedule::alphas(round_t t,
   for (const edge_id e : m) {
     out[static_cast<size_t>(e)] = edge_alpha_[static_cast<size_t>(e)];
   }
+}
+
+void random_matching_schedule::begin_round(round_t t) const {
+  if (matched_round_ == t && !matched_.empty()) {
+    return;  // same round re-entered (restart after restore re-fills)
+  }
+  // The greedy maximal-matching draw is the same call the alphas() path
+  // makes — identical bits — and stays sequential by design: its result
+  // depends on visit order. Sorting the matched set (it arrives in draw
+  // order) is what lets fill slices binary-search it.
+  matching m = random_maximal_matching(*g_, seed_,
+                                       static_cast<std::uint64_t>(t));
+  matched_.assign(m.begin(), m.end());
+  std::sort(matched_.begin(), matched_.end());
+  matched_round_ = t;
+}
+
+void random_matching_schedule::fill_alphas(round_t t, real_t* out,
+                                           const edge_slice& es) const {
+  DLB_EXPECTS(matched_round_ == t);  // begin_round(t) must have run
+  es.for_each([&](edge_id e) {
+    const bool active =
+        std::binary_search(matched_.begin(), matched_.end(), e);
+    out[e] = active ? edge_alpha_[static_cast<size_t>(e)] : 0.0;
+  });
 }
 
 std::unique_ptr<alpha_schedule> random_matching_schedule::clone() const {
@@ -102,10 +157,11 @@ void linear_process::reset(std::vector<real_t> x0) {
 // Phase 1 (per edge): this round's flows y(t), eqs. (10)-(11) — in round 0
 // the recurrence has no history term, y(0) = P(0)·x(0) — plus the cumulative
 // flow ledger update. Pure per-edge function of the pre-round state, so any
-// edge partition computes identical bits.
-void linear_process::flow_phase(edge_id e0, edge_id e1) {
+// edge partition *and any visit order* computes identical bits — which is
+// what licenses the slice's cache layout permutation.
+void linear_process::flow_phase(const edge_slice& es) {
   const graph& g = *g_;
-  for (edge_id e = e0; e < e1; ++e) {
+  es.for_each([&](edge_id e) {
     const edge& ed = g.endpoints(e);
     const real_t a = alpha_buf_[static_cast<size_t>(e)];
     const real_t rate_u = a / static_cast<real_t>(s_[static_cast<size_t>(ed.u)]);
@@ -122,7 +178,7 @@ void linear_process::flow_phase(edge_id e0, edge_id e1) {
           (beta_ - 1.0) * prev.backward + beta_ * rate_v * x_[static_cast<size_t>(ed.v)];
     }
     cum_flow_[static_cast<size_t>(e)] += y.forward - y.backward;
-  }
+  });
 }
 
 // Phase 2 (per node): negative-load detection (Definition 1 — a node's
@@ -159,13 +215,24 @@ void linear_process::step() {
   DLB_EXPECTS(started_);
   const graph& g = *g_;
   if (!alphas_cached_) {
-    schedule_->alphas(t_, alpha_buf_);
-    DLB_ASSERT(static_cast<edge_id>(alpha_buf_.size()) == g.num_edges());
+    if (schedule_->ranged_fill()) {
+      // Sharded α fill: one sequential prologue, then per-slice writes —
+      // the matching models' last O(m) piece now scales with shard threads.
+      // Every edge's slot is written every round, so no clear is needed.
+      alpha_buf_.resize(static_cast<size_t>(g.num_edges()));
+      schedule_->begin_round(t_);
+      edge_phase([&](const edge_slice& es) {
+        schedule_->fill_alphas(t_, alpha_buf_.data(), es);
+      });
+    } else {
+      schedule_->alphas(t_, alpha_buf_);
+      DLB_ASSERT(static_cast<edge_id>(alpha_buf_.size()) == g.num_edges());
+    }
     alphas_cached_ = schedule_->time_invariant();
   }
   y_next_.resize(static_cast<size_t>(g.num_edges()));
 
-  edge_phase([&](edge_id e0, edge_id e1) { flow_phase(e0, e1); });
+  edge_phase([&](const edge_slice& es) { flow_phase(es); });
   const int negative = node_phase_reduce<int>(
       0,
       [&](node_id i0, node_id i1) { return apply_phase(i0, i1) ? 1 : 0; },

@@ -27,6 +27,14 @@ class diffusion_alpha_schedule final : public alpha_schedule {
 
   [[nodiscard]] bool time_invariant() const override { return true; }
 
+  [[nodiscard]] bool ranged_fill() const override { return true; }
+
+  void fill_alphas(round_t /*t*/, real_t* out,
+                   const edge_slice& es) const override {
+    es.for_each(
+        [&](edge_id e) { out[e] = alpha_[static_cast<std::size_t>(e)]; });
+  }
+
   [[nodiscard]] std::unique_ptr<alpha_schedule> clone() const override {
     return std::make_unique<diffusion_alpha_schedule>(alpha_);
   }
@@ -47,6 +55,10 @@ class periodic_matching_schedule final : public alpha_schedule {
 
   void alphas(round_t t, std::vector<real_t>& out) const override;
 
+  [[nodiscard]] bool ranged_fill() const override { return true; }
+  void fill_alphas(round_t t, real_t* out,
+                   const edge_slice& es) const override;
+
   [[nodiscard]] std::unique_ptr<alpha_schedule> clone() const override;
 
   [[nodiscard]] std::string name() const override {
@@ -59,6 +71,12 @@ class periodic_matching_schedule final : public alpha_schedule {
   edge_id num_edges_;
   std::vector<matching> matchings_;
   std::vector<real_t> edge_alpha_;  // matching α per edge, precomputed
+  // Inverted index for the sharded fill: slots_of edge e = the sorted
+  // matching indices containing e, as CSR rows [slot_offsets_[e],
+  // slot_offsets_[e+1]) into slot_values_. Built once at construction so a
+  // fill slice answers "is e active in round t" without scanning matchings.
+  std::vector<std::uint32_t> slot_offsets_;
+  std::vector<std::uint32_t> slot_values_;
 };
 
 /// Random matching schedule: a fresh random maximal matching every round,
@@ -70,6 +88,11 @@ class random_matching_schedule final : public alpha_schedule {
 
   void alphas(round_t t, std::vector<real_t>& out) const override;
 
+  [[nodiscard]] bool ranged_fill() const override { return true; }
+  void begin_round(round_t t) const override;
+  void fill_alphas(round_t t, real_t* out,
+                   const edge_slice& es) const override;
+
   [[nodiscard]] std::unique_ptr<alpha_schedule> clone() const override;
 
   [[nodiscard]] std::string name() const override {
@@ -80,6 +103,13 @@ class random_matching_schedule final : public alpha_schedule {
   const graph* g_;  // non-owning; the linear_process keeps the graph alive
   std::uint64_t seed_;
   std::vector<real_t> edge_alpha_;
+  // The sharded-fill round cache: begin_round(t) draws the round's matching
+  // (sequential — the greedy draw is inherently ordered and must stay
+  // byte-identical to the alphas() path) and leaves a sorted edge set for
+  // fill slices to binary-search. Mutable because drawing is caching, not
+  // observable state; written only in begin_round, before any slice runs.
+  mutable std::vector<edge_id> matched_;
+  mutable round_t matched_round_ = -1;
 };
 
 /// The general linear process: additive and terminating by construction
@@ -136,9 +166,9 @@ class linear_process final : public continuous_process,
   [[nodiscard]] const graph& shard_topology() const override { return *g_; }
 
  private:
-  // One round's phases; [e0, e1) / [i0, i1) are one shard's ranges. The
-  // apply phase returns whether the shard saw a Definition-1 violation.
-  void flow_phase(edge_id e0, edge_id e1);
+  // One round's phases; `es` / [i0, i1) are one slice's ranges. The apply
+  // phase returns whether the slice saw a Definition-1 violation.
+  void flow_phase(const edge_slice& es);
   [[nodiscard]] bool apply_phase(node_id i0, node_id i1);
   std::shared_ptr<const graph> g_;
   speed_vector s_;

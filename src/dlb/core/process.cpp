@@ -1,0 +1,18 @@
+#include "dlb/core/process.hpp"
+
+#include "dlb/common/contracts.hpp"
+
+namespace dlb {
+
+void alpha_schedule::fill_alphas(round_t t, real_t* out,
+                                 const edge_slice& es) const {
+  (void)t;
+  (void)out;
+  (void)es;
+  // Steppers must check ranged_fill() before taking the sharded fill path;
+  // reaching the base implementation means that check was skipped.
+  throw contract_violation("alpha_schedule::fill_alphas called on '" + name() +
+                           "', which does not advertise ranged_fill()");
+}
+
+}  // namespace dlb

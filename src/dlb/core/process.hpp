@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dlb/common/types.hpp"
+#include "dlb/core/phase_slice.hpp"
 #include "dlb/graph/graph.hpp"
 #include "dlb/graph/spectral.hpp"  // speed_vector
 
@@ -48,6 +49,27 @@ class alpha_schedule {
   /// fetch the matrix once instead of copying O(m) coefficients per round —
   /// a real cost on million-edge graphs.
   [[nodiscard]] virtual bool time_invariant() const { return false; }
+
+  /// True when the schedule supports the sharded fill path below. Steppers
+  /// that run sharded rounds then compute the per-round α vector as
+  /// begin_round() followed by fill_alphas() over edge_phase slices, so the
+  /// last sequential O(m) piece of a round scales with shard threads.
+  /// Schedules answering false keep the plain alphas() path.
+  [[nodiscard]] virtual bool ranged_fill() const { return false; }
+
+  /// Sequential per-round prologue of the sharded fill path: anything that
+  /// must happen once per round before slices run (e.g. drawing the round's
+  /// random matching). Called on one thread, strictly before any
+  /// fill_alphas(t, ...) of the same round; must leave fill_alphas a pure
+  /// reader so concurrent slices race on nothing.
+  virtual void begin_round(round_t t) const { (void)t; }
+
+  /// Writes α_e(t) into out[e] for every edge the slice visits. `out` has
+  /// num_edges slots; each edge's slot is written by exactly one slice per
+  /// round. Only called when ranged_fill() is true — the default is a
+  /// contract violation, defined out of line to keep contracts.hpp out of
+  /// this header's dependents.
+  virtual void fill_alphas(round_t t, real_t* out, const edge_slice& es) const;
 
   /// Deep copy (schedules are immutable; copies are interchangeable).
   [[nodiscard]] virtual std::unique_ptr<alpha_schedule> clone() const = 0;

@@ -1,7 +1,9 @@
 #include "dlb/core/sharding.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
+#include <utility>
 
 #include "dlb/common/contracts.hpp"
 #include "dlb/obs/metrics.hpp"
@@ -24,12 +26,58 @@ real_t sum_range(const std::vector<real_t>& x, std::size_t lo,
   return acc;
 }
 
+// Node-block width of the edge-locality layout: edges are grouped by
+// (u/block, v/block), stably by edge id within a group, so one chunk's
+// endpoint reads stay inside a pair of node windows (≈ 32 KiB of load
+// vector each) instead of scattering across the whole vector — the win on
+// hypercubes and random graphs, where half of each edge's endpoints are far
+// apart under any node numbering. Graphs whose nodes all fit one block
+// (every test-sized graph) keep the null layout and pay nothing.
+constexpr node_id layout_block = 4096;
+
+// The (position → edge id) layout permutation, or empty when the blocked
+// order is the identity. Detecting the identity matters: it keeps the
+// extra indirection (and the O(m) map) off graphs that are already local.
+std::vector<edge_id> blocked_edge_order(const graph& g) {
+  const edge_id m = g.num_edges();
+  if (g.num_nodes() <= layout_block || m < 2) return {};
+  std::vector<std::pair<std::uint64_t, edge_id>> keyed(
+      static_cast<std::size_t>(m));
+  for (edge_id e = 0; e < m; ++e) {
+    const edge& ed = g.endpoints(e);
+    const auto bu = static_cast<std::uint64_t>(ed.u / layout_block);
+    const auto bv = static_cast<std::uint64_t>(ed.v / layout_block);
+    keyed[static_cast<std::size_t>(e)] = {(bu << 32) | bv, e};
+  }
+  // Plain sort of (key, id) pairs == stable sort by key: ties break by edge
+  // id, so within a block the ascending-id order is preserved.
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<edge_id> order(static_cast<std::size_t>(m));
+  bool identity = true;
+  for (edge_id p = 0; p < m; ++p) {
+    order[static_cast<std::size_t>(p)] = keyed[static_cast<std::size_t>(p)].second;
+    if (order[static_cast<std::size_t>(p)] != p) identity = false;
+  }
+  if (identity) return {};
+  return order;
+}
+
+// Chunk count of a work-stealing phase over `total` items. At least one
+// chunk even for an empty range, so every phase still runs its barrier (and
+// reduce folds still see one part from body(0, 0), exactly like the static
+// path's empty slices).
+std::size_t chunk_count(std::size_t total) {
+  return std::max<std::size_t>(
+      1, (total + phase_chunk_items - 1) / phase_chunk_items);
+}
+
 }  // namespace
 
 shard_plan::shard_plan(const graph& g, std::size_t num_shards,
                        shard_balance balance)
     : n_(g.num_nodes()), m_(g.num_edges()), balance_(balance) {
   DLB_EXPECTS(num_shards >= 1);
+  edge_order_ = blocked_edge_order(g);
   // No node-empty shards: the metric reduction folds one extremum per shard,
   // and an empty range would contribute its sentinel. Edgeless graphs and
   // num_shards > m are fine — edge ranges may be empty, the barrier still
@@ -53,32 +101,30 @@ shard_plan::shard_plan(const graph& g, std::size_t num_shards,
   // Degree-weighted cut: place boundary s at the first node whose incident-
   // degree prefix reaches s/shards of the total (2m), clamped so every shard
   // keeps at least one node and enough nodes remain for the shards after it.
+  // Each boundary is a binary search over the prefix-degree array — plan
+  // build sits on every cell's setup path and the old linear scan showed up
+  // in --obs-profile on multi-million-node graphs. The clamp makes this
+  // exactly equivalent to that scan: the scan resumed from the previous
+  // *clamped* cut, and whenever the global search lands before it, both
+  // answers collapse to the same lower clamp bound.
+  std::vector<std::size_t> prefix(static_cast<std::size_t>(n_) + 1, 0);
+  for (node_id i = 0; i < n_; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] +
+        static_cast<std::size_t>(g.degree(i));
+  }
+  const std::size_t total_degree = 2 * static_cast<std::size_t>(m_);
   node_cut_[0] = 0;
   node_cut_[shards] = n_;
-  const std::size_t total_degree = 2 * static_cast<std::size_t>(m_);
-  node_id j = 0;            // next uncut node
-  std::size_t prefix = 0;   // sum of degrees of nodes < j
   for (std::size_t s = 1; s < shards; ++s) {
     const std::size_t target = total_degree * s / shards;
+    const auto j = static_cast<node_id>(
+        std::lower_bound(prefix.begin(), prefix.end(), target) -
+        prefix.begin());
     const node_id lo = node_cut_[s - 1] + 1;
     const node_id hi =
         n_ - static_cast<node_id>(shards - s);  // leave 1 node per later shard
-    while (j < n_ && prefix < target) {
-      prefix += static_cast<std::size_t>(g.degree(j));
-      ++j;
-    }
-    const node_id cut = std::clamp(j, lo, hi);
-    // Re-anchor (j, prefix) if clamping moved the boundary, so the next
-    // iteration's prefix stays the sum of degrees of nodes < j.
-    while (j < cut) {
-      prefix += static_cast<std::size_t>(g.degree(j));
-      ++j;
-    }
-    while (j > cut) {
-      --j;
-      prefix -= static_cast<std::size_t>(g.degree(j));
-    }
-    node_cut_[s] = cut;
+    node_cut_[s] = std::clamp(j, lo, hi);
   }
 }
 
@@ -87,6 +133,13 @@ shard_balance parse_shard_balance(const std::string& name) {
   if (name == "edges") return shard_balance::incident_edges;
   throw contract_violation("unknown shard balance: " + name +
                            " (expected nodes or edges)");
+}
+
+shard_exec parse_shard_exec(const std::string& name) {
+  if (name == "static") return shard_exec::static_slices;
+  if (name == "steal") return shard_exec::work_stealing;
+  throw contract_violation("unknown shard runner: " + name +
+                           " (expected static or steal)");
 }
 
 void sharded_stepper::enable_sharded_stepping(
@@ -119,6 +172,12 @@ const phase_labels& labels_of(int kind) {
 
 }  // namespace
 
+std::size_t sharded_stepper::reduce_slots() const {
+  const shard_plan& plan = shard_->plan;
+  if (shard_->exec != shard_exec::work_stealing) return plan.num_shards();
+  return chunk_count(static_cast<std::size_t>(plan.num_nodes()));
+}
+
 void sharded_stepper::for_each_slice(
     phase_kind kind,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& slice)
@@ -126,75 +185,114 @@ void sharded_stepper::for_each_slice(
   const phase_labels& labels = labels_of(static_cast<int>(kind));
   const shard_plan& plan = shard_->plan;
   const std::size_t shards = plan.num_shards();
-  const auto range_of = [&](std::size_t s) {
-    return labels.edge_items
-               ? std::pair<std::size_t, std::size_t>(
-                     static_cast<std::size_t>(plan.edge_begin(s)),
-                     static_cast<std::size_t>(plan.edge_end(s)))
-               : std::pair<std::size_t, std::size_t>(
-                     static_cast<std::size_t>(plan.node_begin(s)),
-                     static_cast<std::size_t>(plan.node_end(s)));
-  };
+  const std::size_t total = labels.edge_items
+                                ? static_cast<std::size_t>(plan.num_edges())
+                                : static_cast<std::size_t>(plan.num_nodes());
 
   obs::recorder* rec = probe_.rec;
   obs::metrics* met = probe_.met;
   obs::prof::profiler* prf = probe_.prf;
-  if (rec == nullptr && met == nullptr && prf == nullptr) {
-    shard_->for_each_shard([&](std::size_t s) {
-      const auto [lo, hi] = range_of(s);
-      slice(s, lo, hi);
-    });
-    return;
-  }
 
-  // Shard s's body records its own end time; once the runner returns (the
-  // barrier), everything after the last shard's finish is wait — so the
-  // orchestrator can synthesize one barrier-wait span per shard without any
-  // cross-thread signalling on the hot path.
-  std::vector<std::int64_t> shard_end(rec != nullptr ? shards : 0, 0);
-  shard_->for_each_shard([&](std::size_t s) {
-    const auto [lo, hi] = range_of(s);
-    // The counter read brackets exactly the slice body, on the thread that
-    // runs it — perf fds measure the calling thread, so the deltas are this
-    // shard's own cycles/misses, not the pool's.
+  // Per-group instrumentation shared by both modes: one phase span per
+  // shard (static) or claim-loop group (stealing) — the span's shard slot
+  // carries the group index either way, so barrier share and skew analysis
+  // keep working unchanged. `work` runs the group's slices and returns the
+  // item count it processed; each group records its own end time, and once
+  // the runner returns (the barrier) everything after a group's finish is
+  // wait — synthesized below without any cross-thread signalling on the
+  // hot path.
+  std::vector<std::int64_t> end_ns(rec != nullptr ? shards : 0, 0);
+  const auto run_body = [&](std::size_t gidx,
+                            const std::function<std::size_t()>& work) {
+    // The counter read brackets exactly the group's slices, on the thread
+    // that runs them — perf fds measure the calling thread, so the deltas
+    // are this group's own cycles/misses, not the pool's.
     const obs::prof::hw_reading p0 =
         prf != nullptr ? prf->begin() : obs::prof::hw_reading{};
     if (rec == nullptr) {
-      slice(s, lo, hi);
+      work();
       if (prf != nullptr) {
-        prf->complete(labels.span, static_cast<std::int32_t>(s), probe_.cell,
-                      p0);
+        prf->complete(labels.span, static_cast<std::int32_t>(gidx),
+                      probe_.cell, p0);
       }
       return;
     }
     const std::int64_t t0 = rec->now();
-    slice(s, lo, hi);
+    const std::size_t items = work();
     const std::int64_t t1 = rec->now();
     if (prf != nullptr) {
-      prf->complete(labels.span, static_cast<std::int32_t>(s), probe_.cell,
+      prf->complete(labels.span, static_cast<std::int32_t>(gidx), probe_.cell,
                     p0);
     }
-    rec->complete(labels.span, t0, t1 - t0, static_cast<std::int32_t>(s),
-                  probe_.cell, static_cast<std::int64_t>(hi - lo));
-    shard_end[s] = t1;
-  });
+    rec->complete(labels.span, t0, t1 - t0, static_cast<std::int32_t>(gidx),
+                  probe_.cell, static_cast<std::int64_t>(items));
+    end_ns[gidx] = t1;
+  };
+
+  if (shard_->exec == shard_exec::work_stealing) {
+    // Chunked dynamic execution: boundaries are a pure function of `total`
+    // (never the shard count), so which group claims a chunk can vary run
+    // to run while the computed bits cannot. The reduce slot is the chunk
+    // index — each chunk is claimed exactly once, so parts have a single
+    // writer and fold in a fixed ascending order.
+    const std::size_t chunks = chunk_count(total);
+    const auto group = [&](std::size_t g,
+                           const std::function<std::size_t()>& claim) {
+      run_body(g, [&]() -> std::size_t {
+        std::size_t items = 0;
+        for (;;) {
+          const std::size_t c = claim();
+          if (c >= chunks) break;
+          const std::size_t lo = c * phase_chunk_items;
+          const std::size_t hi = std::min(total, lo + phase_chunk_items);
+          slice(c, lo, hi);
+          items += hi - lo;
+        }
+        return items;
+      });
+    };
+    if (shard_->steal != nullptr) {
+      shard_->steal(shards, chunks, group);
+    } else {
+      // No pool-side steal primitive (serial test contexts): synthesize the
+      // claim loop over the plain runner. This cursor and its thread_pool
+      // twin are the blessed atomic work-distribution points
+      // (tools/dlb_lint.py, "atomic-claim").
+      std::atomic<std::size_t> cursor{0};
+      const std::function<std::size_t()> claim = [&cursor] {
+        return cursor.fetch_add(1, std::memory_order_relaxed);
+      };
+      shard_->for_each_shard([&](std::size_t g) { group(g, claim); });
+    }
+  } else {
+    shard_->for_each_shard([&](std::size_t s) {
+      run_body(s, [&]() -> std::size_t {
+        const auto [lo, hi] =
+            labels.edge_items
+                ? std::pair<std::size_t, std::size_t>(
+                      static_cast<std::size_t>(plan.edge_begin(s)),
+                      static_cast<std::size_t>(plan.edge_end(s)))
+                : std::pair<std::size_t, std::size_t>(
+                      static_cast<std::size_t>(plan.node_begin(s)),
+                      static_cast<std::size_t>(plan.node_end(s)));
+        slice(s, lo, hi);
+        return hi - lo;
+      });
+    });
+  }
+
   if (rec != nullptr) {
     const std::int64_t barrier_done = rec->now();
     for (std::size_t s = 0; s < shards; ++s) {
-      const std::int64_t wait = barrier_done - shard_end[s];
-      rec->complete(labels.barrier, shard_end[s], wait,
+      const std::int64_t wait = barrier_done - end_ns[s];
+      rec->complete(labels.barrier, end_ns[s], wait,
                     static_cast<std::int32_t>(s), probe_.cell);
       if (met != nullptr) {
         met->add_barrier_wait(static_cast<std::uint64_t>(wait));
       }
     }
   }
-  if (met != nullptr) {
-    const std::size_t total = labels.edge_items
-                                  ? static_cast<std::size_t>(plan.num_edges())
-                                  : static_cast<std::size_t>(plan.num_nodes());
-    met->count_phase(labels.edge_items, total);
-  }
+  if (met != nullptr) met->count_phase(labels.edge_items, total);
 }
 
 sharded_stepper::phase_span::phase_span(const sharded_stepper& st,
@@ -225,17 +323,19 @@ void sharded_stepper::add_tokens_moved(std::uint64_t n) const noexcept {
 }
 
 void sharded_stepper::edge_phase(
-    const std::function<void(edge_id, edge_id)>& body) const {
+    const std::function<void(const edge_slice&)>& body) const {
   if (shard_ == nullptr) {
     const edge_id m = shard_topology().num_edges();
     const phase_span span(*this, phase_kind::edge,
                           static_cast<std::size_t>(m));
-    body(0, m);
+    body(edge_slice(0, m, nullptr));
     return;
   }
+  const edge_id* order = shard_->plan.edge_order();
   for_each_slice(phase_kind::edge,
                  [&](std::size_t, std::size_t lo, std::size_t hi) {
-                   body(static_cast<edge_id>(lo), static_cast<edge_id>(hi));
+                   body(edge_slice(static_cast<edge_id>(lo),
+                                   static_cast<edge_id>(hi), order));
                  });
 }
 

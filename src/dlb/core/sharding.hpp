@@ -10,15 +10,33 @@
 //
 // `sharded_stepper` is the shared protocol every process in the repo steps
 // through: derived classes express their round as edge_phase()/node_phase()
-// calls (plus node_phase_reduce for order-independent per-shard folds), and
-// the base runs them over the full range when sequential or one slice per
-// shard when a context is installed — same bits either way.
+// calls (plus node_phase_reduce for order-independent per-slot folds), and
+// the base runs them over the full range when sequential or slice-by-slice
+// when a context is installed — same bits either way.
 //
-// Determinism contract (docs/ARCHITECTURE.md, "Sharded stepping"): a sharded
-// step must be *bit-identical* to the sequential step for any shard count.
-// The phase decomposition guarantees this because
+// Two execution modes (shard_exec) share that protocol:
+//  * static_slices — one contiguous slice per shard, the plan's cuts. Cost
+//    skew shows up as barrier wait: every fast shard idles until the slowest
+//    finishes.
+//  * work_stealing — each phase's range is split into fixed-size chunks
+//    (phase_chunk_items each; boundaries a pure function of the item count,
+//    NEVER of the shard count) and `num_shards` claim-loop groups pull chunk
+//    indices from one shared atomic cursor until the range drains. Irregular
+//    per-item cost no longer parks fast shards at the barrier — they steal
+//    the remaining chunks instead. The cursor lives in this translation unit
+//    (or in thread_pool::steal_loop, its runner-side twin); it is the one
+//    blessed fetch-based work-distribution point in the tree (tools/
+//    dlb_lint.py, rule "atomic-claim").
+//
+// Determinism contract (docs/ARCHITECTURE.md, "Sharded stepping" and "Round
+// kernels & chunked execution"): a sharded step must be *bit-identical* to
+// the sequential step for any shard count, either balance cut, and either
+// execution mode. The phase decomposition guarantees this because
 //  * per-edge quantities (flows, cumulative-flow updates, deficits) are pure
-//    functions of the pre-round state,
+//    functions of the pre-round state — so both the partition into slices or
+//    chunks and the *visit order within* a slice are free, which is what
+//    lets a shard_plan install a cache-locality edge permutation
+//    (edge_order(), traversed through core/phase_slice.hpp),
 //  * per-node accumulators (load updates, outgoing sums, task pools) receive
 //    their contributions in ascending incident-edge order — exactly the order
 //    the sequential edge loop applies them, because graph adjacency lists are
@@ -41,6 +59,7 @@
 #include <vector>
 
 #include "dlb/common/types.hpp"
+#include "dlb/core/phase_slice.hpp"
 #include "dlb/graph/graph.hpp"
 #include "dlb/obs/probe.hpp"
 #include "dlb/obs/prof.hpp"
@@ -53,6 +72,18 @@ namespace dlb {
 using shard_runner = std::function<void(
     std::size_t count, const std::function<void(std::size_t)>& body)>;
 
+/// Executes `groups` claim-loop bodies — possibly in parallel — and returns
+/// only when all finished. Each body repeatedly invokes its `claim` callable;
+/// claims across all groups return every index in [0, chunks) exactly once
+/// and then values >= chunks forever (the drain signal). The serial fallback
+/// hands every chunk to group 0; dlb::runtime adapts
+/// thread_pool::steal_loop to this.
+using steal_runner = std::function<void(
+    std::size_t groups, std::size_t chunks,
+    const std::function<void(std::size_t group,
+                             const std::function<std::size_t()>& claim)>&
+        body)>;
+
 /// What a shard_plan balances when cutting the node ranges.
 enum class shard_balance {
   node_count,      ///< equal node counts per shard (the default)
@@ -62,13 +93,37 @@ enum class shard_balance {
                    ///< holding most of the per-node edge folds
 };
 
+/// How a sharded phase distributes its range over the shards.
+enum class shard_exec {
+  static_slices,  ///< one plan slice per shard, no stealing
+  work_stealing,  ///< fixed-size chunks claimed from a shared cursor
+};
+
+/// Number of items (edges or nodes) per work-stealing chunk. A pure
+/// constant: chunk boundaries depend on the phase's item count only, so the
+/// partition — and therefore every output bit — is identical at any shard
+/// count. Small enough that a 1M-item phase exposes ~64 chunks to 8 shards
+/// (fine-grained enough to absorb a 10x per-item skew), large enough that
+/// one claim amortizes over thousands of items.
+inline constexpr std::size_t phase_chunk_items = 16384;
+
 /// Contiguous partition of one graph's nodes and edges into shards. Node and
 /// edge ranges are cut independently (per-edge phases are pure, so edge work
 /// need not align with node ownership); edge ranges are always balanced by
-/// count (per-edge work is uniform), node ranges by `balance`. The requested
+/// count (per-edge work is uniform), node ranges by `balance` — the
+/// degree-weighted cut binary-searches a prefix-degree array, so plan build
+/// stays O(n + s·log n) even on multi-million-node graphs. The requested
 /// shard count is clamped so no shard is node-empty; edge ranges may be
 /// empty (a graph can have fewer edges than shards, or none at all) — empty
 /// ranges still participate in every phase barrier, they just do no work.
+///
+/// The plan also owns the cache-locality edge layout: a one-time pass blocks
+/// the edge ids by (u/B, v/B) so an edge phase streaming positions touches
+/// node slices a block at a time instead of scattering across the whole load
+/// vector. The permutation is stable by edge id within a block and is kept
+/// as an index map (edge_order()); graphs that are already local (everything
+/// under one block, e.g. every test-sized graph) detect the identity and
+/// keep the null layout, so their phases pay nothing.
 class shard_plan {
  public:
   shard_plan() = default;
@@ -91,17 +146,30 @@ class shard_plan {
     return edge_cut_[s + 1];
   }
 
+  /// The edge-visit permutation (position → edge id), or nullptr when the
+  /// identity layout was kept. Edge phases traverse positions through this
+  /// map (core/phase_slice.hpp); everything else — ledgers, flows, adjacency
+  /// folds — keeps indexing by edge id, untouched.
+  [[nodiscard]] const edge_id* edge_order() const noexcept {
+    return edge_order_.empty() ? nullptr : edge_order_.data();
+  }
+
  private:
   node_id n_ = 0;
   edge_id m_ = 0;
   shard_balance balance_ = shard_balance::node_count;
   std::vector<node_id> node_cut_;  // size num_shards+1, ascending
   std::vector<edge_id> edge_cut_;  // size num_shards+1, ascending
+  std::vector<edge_id> edge_order_;  // empty = identity layout
 };
 
 /// Parses "nodes" / "edges" (the `--shard-balance` CLI values); throws
 /// contract_violation on anything else.
 [[nodiscard]] shard_balance parse_shard_balance(const std::string& name);
+
+/// Parses "static" / "steal" (the `--shard-runner` CLI values); throws
+/// contract_violation on anything else.
+[[nodiscard]] shard_exec parse_shard_exec(const std::string& name);
 
 /// A plan plus the runner that executes its shards. One context is built per
 /// experiment cell (outside the timed engine call) and shared by the discrete
@@ -109,6 +177,14 @@ class shard_plan {
 struct shard_context {
   shard_plan plan;
   shard_runner run;
+  /// Execution mode of the phases stepped under this context. A pure
+  /// execution knob: rows are byte-identical in either mode.
+  shard_exec exec = shard_exec::work_stealing;
+  /// The work-stealing claim loop. Optional: when null, work_stealing
+  /// phases synthesize the claim loop over `run` with a local cursor —
+  /// equivalent bits, just without the pool-side primitive (serial test
+  /// contexts use this path).
+  steal_runner steal = nullptr;
 
   /// Runs fn(shard) for every shard and waits for all — one barrier phase.
   void for_each_shard(const std::function<void(std::size_t)>& fn) const {
@@ -142,7 +218,8 @@ class shardable {
 /// The shared protocol base: implements the `shardable` plumbing once and
 /// gives derived processes the three phase primitives their step() is built
 /// from. With no context installed every phase runs over the full range on
-/// the calling thread; with one, each phase runs one slice per shard and the
+/// the calling thread; with one, each phase runs slice-by-slice (static
+/// plan slices or stolen chunks, per the context's exec mode) and the
 /// runner's completion is the barrier. Derived classes only have to uphold
 /// the phase purity rules in the header comment above — the "make your
 /// process shardable" guide in docs/ARCHITECTURE.md walks through a port.
@@ -156,9 +233,11 @@ class sharded_stepper : public shardable {
   }
 
   /// Attaches an observability probe: every phase then emits one span per
-  /// shard (plus a barrier-wait span per shard) to the probe's recorder and
-  /// bumps its metrics counters. Pure observation — stepping stays
-  /// bit-identical (obs/probe.hpp). A default probe detaches.
+  /// shard (or per claim-loop group under work stealing — the span's shard
+  /// slot carries the group index, so barrier-wait share and skew stay
+  /// attributable) plus a barrier-wait span each, and bumps the probe's
+  /// metrics counters. Pure observation — stepping stays bit-identical
+  /// (obs/probe.hpp). A default probe detaches.
   void set_probe(const obs::probe& pb) {
     probe_ = pb;
     on_probe_attached(probe_);
@@ -187,9 +266,11 @@ class sharded_stepper : public shardable {
   /// exactly once and the total is shard-count independent.
   void add_tokens_moved(std::uint64_t n) const noexcept;
 
-  /// Pure per-edge phase: body(e0, e1) over contiguous edge ranges. The body
-  /// may read any pre-phase state but write only per-edge slots in [e0, e1).
-  void edge_phase(const std::function<void(edge_id, edge_id)>& body) const;
+  /// Pure per-edge phase: body(slice) over contiguous position ranges of
+  /// the plan's edge layout (identity when sequential or unpermuted). The
+  /// body may read any pre-phase state but write only the per-edge slots of
+  /// the edges its slice visits.
+  void edge_phase(const std::function<void(const edge_slice&)>& body) const;
 
   /// Per-node phase: body(i0, i1) over contiguous node ranges. The body may
   /// write per-node state of its own nodes and per-(edge, direction) slots
@@ -197,9 +278,12 @@ class sharded_stepper : public shardable {
   /// fold incident edges in ascending edge-id order.
   void node_phase(const std::function<void(node_id, node_id)>& body) const;
 
-  /// Node phase folding one value per shard into an order-independent
-  /// reduction (integer sums, min/max, boolean OR — never a float sum).
-  /// `init` is the fold identity.
+  /// Node phase folding one value per slice (shard or chunk) into an
+  /// order-independent reduction (integer sums, min/max, boolean OR — never
+  /// a float sum). `init` is the fold identity. Partial values are folded
+  /// in ascending slice order, but the grouping differs between execution
+  /// modes (per-shard slices vs per-chunk), so order independence is what
+  /// keeps static, stealing, and sequential results bit-equal.
   template <typename T, typename Fold>
   T node_phase_reduce(T init,
                       const std::function<T(node_id, node_id)>& body,
@@ -213,12 +297,11 @@ class sharded_stepper : public shardable {
                             static_cast<std::size_t>(n));
       return fold(init, body(0, n));
     }
-    const shard_plan& plan = shard_->plan;
-    std::vector<T> parts(plan.num_shards(), init);
+    std::vector<T> parts(reduce_slots(), init);
     for_each_slice(phase_kind::reduce,
-                   [&](std::size_t s, std::size_t lo, std::size_t hi) {
-                     parts[s] = body(static_cast<node_id>(lo),
-                                     static_cast<node_id>(hi));
+                   [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+                     parts[slot] = body(static_cast<node_id>(lo),
+                                        static_cast<node_id>(hi));
                    });
     T acc = init;
     for (const T& part : parts) acc = fold(acc, part);
@@ -230,16 +313,23 @@ class sharded_stepper : public shardable {
   /// whether ranges cut edges or nodes.
   enum class phase_kind { edge, node, reduce };
 
-  /// Shared sharded loop of the three phase primitives: runs slice(s, lo,
-  /// hi) over every shard's range, emitting one phase span per shard plus
-  /// the per-shard barrier-wait spans and counter bumps when a probe is
-  /// attached. With no probe this is exactly the bare for_each_shard loop.
-  /// Requires shard_ != nullptr (the sequential paths instrument inline via
-  /// phase_span).
+  /// Shared sharded loop of the three phase primitives: runs slice(slot,
+  /// lo, hi) over the phase's range — one plan slice per shard (slot =
+  /// shard) under static_slices, one fixed-size chunk per call (slot =
+  /// chunk index) under work_stealing — emitting one phase span per shard
+  /// (or claim group) plus the per-shard barrier-wait spans and counter
+  /// bumps when a probe is attached. Requires shard_ != nullptr (the
+  /// sequential paths instrument inline via phase_span).
   void for_each_slice(
       phase_kind kind,
-      const std::function<void(std::size_t s, std::size_t lo, std::size_t hi)>&
-          slice) const;
+      const std::function<void(std::size_t slot, std::size_t lo,
+                               std::size_t hi)>& slice) const;
+
+  /// Number of reduction slots the active mode produces for a node phase:
+  /// the shard count (static) or the chunk count of n (stealing) — the
+  /// latter a pure function of n, so the grouping never moves with the
+  /// shard count.
+  [[nodiscard]] std::size_t reduce_slots() const;
 
   /// RAII instrumentation of a *sequential* full-range phase: no-op without
   /// a probe, otherwise one span (shard 0) plus the counter bump. Lets the

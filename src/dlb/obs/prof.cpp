@@ -43,6 +43,7 @@ std::int64_t steady_ns() noexcept {
 
 std::uint64_t next_profiler_id() noexcept {
   static std::atomic<std::uint64_t> counter{1};
+  // dlb-lint: allow(atomic-claim): process-lifetime profiler-id allocation; ids never reach rows
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -116,6 +116,7 @@ grid_spec base_spec(const grid_options& opts, std::uint64_t master_seed,
   // any grid can take --shard-threads with byte-identical rows.
   spec.shard_threads = opts.shard_threads;
   spec.cut_balance = opts.shard_cut;
+  spec.exec_mode = opts.shard_runner;
   return spec;
 }
 
@@ -216,6 +217,7 @@ grid_spec scaling_n_grid(const grid_options& opts, std::uint64_t master) {
   spec.spike_per_node = opts.spike_per_node;
   spec.shard_threads = opts.shard_threads;
   spec.cut_balance = opts.shard_cut;
+  spec.exec_mode = opts.shard_runner;
   const std::uint64_t gseed = derive_seed(master, graph_seed_stream);
   for (const char* family : {"arbitrary", "expander", "hypercube", "torus"}) {
     std::string last;
@@ -245,6 +247,7 @@ grid_spec scaling_d_grid(const grid_options& opts, std::uint64_t /*master*/) {
   spec.spike_per_node = opts.spike_per_node;
   spec.shard_threads = opts.shard_threads;
   spec.cut_balance = opts.shard_cut;
+  spec.exec_mode = opts.shard_runner;
   const int max_dim = std::max(3, hypercube_dim(opts.target_n));
   for (int dim = 3; dim <= max_dim; ++dim) {
     spec.graphs.push_back(
@@ -814,6 +817,7 @@ grid_spec huge_uniform_grid(const grid_options& opts,
   spec.comm_model = workload::model::diffusion;
   spec.shard_threads = opts.shard_threads;
   spec.cut_balance = opts.shard_cut;
+  spec.exec_mode = opts.shard_runner;
   spec.dynamic_rounds = opts.dynamic_rounds;
   spec.arrivals_per_round = opts.arrivals_per_round;
   spec.spike_per_node = opts.spike_per_node;
@@ -876,6 +880,7 @@ grid_spec huge_static_grid(const grid_options& opts, std::uint64_t master) {
   spec.comm_model = workload::model::diffusion;
   spec.shard_threads = opts.shard_threads;
   spec.cut_balance = opts.shard_cut;
+  spec.exec_mode = opts.shard_runner;
   spec.spike_per_node = opts.spike_per_node;
   spec.repeats = opts.repeats;
   spec.processes = workload::standard_competitors(/*diffusion_model=*/true);

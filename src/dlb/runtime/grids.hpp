@@ -57,6 +57,10 @@ struct grid_options {
   /// (default) or incident-edge work for skewed degree distributions. Rows
   /// are byte-identical for either value.
   shard_balance shard_cut = shard_balance::node_count;
+  /// Phase execution mode (`--shard-runner`): chunked work stealing
+  /// (default) or static one-slice-per-shard. Byte-identical rows either
+  /// way.
+  shard_exec shard_runner = shard_exec::work_stealing;
 };
 
 /// Name + one-line description of a registered grid.

@@ -135,4 +135,21 @@ void thread_pool::parallel_for_each(
   if (state->error) std::rethrow_exception(state->error);
 }
 
+void thread_pool::steal_loop(
+    std::size_t groups, std::size_t chunks,
+    const std::function<void(std::size_t,
+                             const std::function<std::size_t()>&)>& body) {
+  if (groups == 0) return;
+  // The chunk cursor: with parallel_for_each's index counter, one of the
+  // two blessed atomic work-distribution points (tools/dlb_lint.py,
+  // "atomic-claim"). Stack lifetime is safe — parallel_for_each blocks
+  // until every group body (and therefore every claim) has returned.
+  std::atomic<std::size_t> cursor{0};
+  const std::function<std::size_t()> claim = [&cursor] {
+    return cursor.fetch_add(1, std::memory_order_relaxed);
+  };
+  (void)chunks;  // bound lives in the bodies' loop condition, not here
+  parallel_for_each(groups, [&](std::size_t g) { body(g, claim); });
+}
+
 }  // namespace dlb::runtime

@@ -1,12 +1,15 @@
-// A fixed-size thread pool with a `parallel_for_each` primitive.
+// A fixed-size thread pool with `parallel_for_each` and `steal_loop`
+// primitives.
 //
-// Deliberately work-stealing-free: the pool exists so that experiment grids
-// can spread *independent, deterministic* cells over cores, and determinism
-// is easiest to audit when scheduling is a plain shared counter. Each
+// Deliberately deque-free: the pool exists so that experiment grids can
+// spread *independent, deterministic* work over cores, and determinism is
+// easiest to audit when scheduling is a plain shared counter. Each
 // parallel_for_each call hands indices 0..count-1 to the workers through one
-// atomic; the body must therefore not depend on which thread (or in which
-// order) an index is executed — grid cells derive all randomness from their
-// own index, never from thread identity.
+// atomic; steal_loop is the same counter turned inside out — group bodies
+// pull chunk indices themselves, so an uneven chunk never strands the other
+// workers. Either way the body must not depend on which thread (or in which
+// order) an index is executed — all randomness derives from the index,
+// never from thread identity.
 #pragma once
 
 #include <condition_variable>
@@ -56,6 +59,20 @@ class thread_pool {
   /// genuine nested parallelism use a separate pool (as sharded cells do).
   void parallel_for_each(std::size_t count,
                          const std::function<void(std::size_t)>& body);
+
+  /// Runs body(g, claim) for every group g in [0, groups), where `claim` is
+  /// shared by all groups and yields successive chunk indices from one
+  /// atomic cursor; a group loops `claim()` until the result is >= chunks.
+  /// Blocks until every group body has returned, which is the only
+  /// happens-before edge chunk work gets: writes made under one claim are
+  /// visible to the caller after steal_loop returns (via the pool's
+  /// completion barrier), not to concurrently-running groups. Re-entrant
+  /// use degrades like parallel_for_each: groups run inline in order, so
+  /// the first group drains every chunk.
+  void steal_loop(
+      std::size_t groups, std::size_t chunks,
+      const std::function<void(std::size_t,
+                               const std::function<std::size_t()>&)>& body);
 
   /// Attaches a trace recorder: every parallel_for_each slice then records a
   /// "pool_task" span carrying its enqueue→start latency, which the

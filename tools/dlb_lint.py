@@ -38,6 +38,17 @@ code shapes that *could* violate the contract, at review time:
                     fd-lifetime rules and the graceful-fallback contract; an
                     ad-hoc reader would leak fds across shard pools or crash
                     where the syscall is blocked.
+  atomic-claim      consumed fetch_add/fetch_sub results — assignment,
+                    return, or use inside an if/while/for condition —
+                    anywhere outside the two blessed claim loops
+                    (core/sharding.cpp, runtime/thread_pool.cpp).  A
+                    consumed fetch is a hand-rolled dynamic work claim:
+                    which thread observes which value depends on the
+                    schedule, so any algorithmic state derived from it is
+                    nondeterministic.  The blessed loops scope the value to
+                    pure execution (chunk identity) and publish nothing
+                    schedule-dependent; statement-form fetches (metrics
+                    counters) stay legal everywhere.
 
 Escape hatch: a finding is suppressed by an allow directive with a
 justification, on the same line or the line directly above:
@@ -82,6 +93,14 @@ PROF_SYSCALL_ALLOWLIST = (
     "obs/prof.hpp",
 )
 
+# The two blessed dynamic-claim loops: the sharded stepper's synthesized
+# cursor and the thread pool's steal_loop/parallel_for_each.  Only there may
+# a fetch_add/fetch_sub *result* drive work distribution.
+ATOMIC_CLAIM_ALLOWLIST = (
+    "core/sharding.cpp",
+    "runtime/thread_pool.cpp",
+)
+
 # The optional trailing "// expect:" branch lets the self-test fixtures mark
 # a deliberately-broken directive on its own line.
 ALLOW_RE = re.compile(
@@ -96,6 +115,7 @@ RULES = (
     "vector-bool",
     "float-reduce",
     "prof-syscall",
+    "atomic-claim",
     "allow-needs-reason",
 )
 
@@ -321,10 +341,35 @@ VECTOR_BOOL_RE = re.compile(r"\bvector\s*<\s*bool\s*>")
 FLOAT_REDUCE_RE = re.compile(
     r"\bnode_phase_reduce\s*<\s*(?:real_t|double|float)\b")
 PHASE_ACCUMULATE_RE = re.compile(r"\bstd\s*::\s*(?:accumulate|reduce)\s*\(")
+FETCH_CALL_RE = re.compile(r"\bfetch_(?:add|sub)\s*\(")
+# An assignment '=' (incl. compound += etc.), excluding ==, !=, <=, >=.
+ASSIGN_RE = re.compile(r"(?<![=!<>])=(?!=)")
+COND_KEYWORD_RE = re.compile(r"\b(?:if|while|for)\b")
 PERF_SYSCALL_RE = re.compile(
     r"\b(?:perf_event_open|SYS_perf_event_open|__NR_perf_event_open)\b")
 PROC_SELF_RE = re.compile(r"/proc/self")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+
+
+def consumed_fetch_offsets(code: str):
+    """Offsets of fetch_add/fetch_sub calls whose *result* is consumed: the
+    enclosing statement assigns it, returns it, or tests it inside an
+    if/while/for condition.  Statement-form fetches (counter bumps) pass."""
+    offsets = []
+    for m in FETCH_CALL_RE.finditer(code):
+        stmt_start = max(code.rfind(c, 0, m.start()) for c in ";{}") + 1
+        prefix = code[stmt_start:m.start()]
+        consumed = False
+        if re.search(r"\breturn\b", prefix) or ASSIGN_RE.search(prefix):
+            consumed = True
+        elif COND_KEYWORD_RE.search(prefix):
+            # Consumed only if the call sits *inside* the keyword's still-open
+            # condition parens, not merely in a statement guarded by one.
+            if prefix.count("(") > prefix.count(")"):
+                consumed = True
+        if consumed:
+            offsets.append(m.start())
+    return offsets
 
 
 def serial_path_files(files):
@@ -456,6 +501,15 @@ def lint_file(path: Path, display: Path, on_serial_path: bool):
                 "std::accumulate/std::reduce in a phase body: per-shard "
                 "ranges would regroup the sum — use blocked_sum for floats "
                 "or an explicit integer loop")
+
+    if not any(posix.endswith(sfx) for sfx in ATOMIC_CLAIM_ALLOWLIST):
+        for offset in consumed_fetch_offsets(code):
+            report(
+                offset, "atomic-claim",
+                "consumed fetch_add/fetch_sub result: a hand-rolled dynamic "
+                "work claim is schedule-dependent — route dynamic claiming "
+                "through the blessed claim loops (core/sharding.cpp, "
+                "runtime/thread_pool.cpp) or drop the result")
 
     if not any(posix.endswith(sfx) for sfx in PROF_SYSCALL_ALLOWLIST):
         # The syscall name is an identifier; the /proc/self paths it reads
